@@ -1,0 +1,39 @@
+"""A1 — ablation: practical vs worst-case sketch-ε budget in the lossy trimming.
+
+DESIGN.md decision 3: the paper's worst-case analysis divides ε by 4^height
+before sketching; the practical budget skips that division.  Both must stay
+within the requested ε; the worst-case budget pays for its safety margin with
+larger intermediate relations.
+"""
+
+import pytest
+
+from repro.approx.lossy_sum_trim import LossySumTrimmer
+from repro.baselines.materialize import answer_weights
+from repro.bench.harness import observed_rank_error
+from repro.core.quantile import pivoting_quantile
+
+EPSILON = 0.3
+PHI = 0.5
+
+
+@pytest.mark.parametrize("budget", ["practical", "paper"])
+def test_error_budget(benchmark, full_sum_workload, budget):
+    workload = full_sum_workload
+    ranking = workload.ranking
+    trimmer = LossySumTrimmer(ranking, epsilon=EPSILON / 4.0, budget=budget)
+
+    result = benchmark.pedantic(
+        lambda: pivoting_quantile(
+            workload.query, workload.db, ranking, trimmer, phi=PHI, epsilon=EPSILON
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    weights = answer_weights(workload.query, workload.db, ranking)
+    target = min(len(weights) - 1, int(PHI * len(weights)))
+    error = observed_rank_error(weights, result.weight, target)
+    assert error <= EPSILON
+    benchmark.extra_info["budget"] = budget
+    benchmark.extra_info["observed_rank_error"] = error

@@ -1,0 +1,60 @@
+"""A2 — ablation: single-pass interval trimming vs two composed trims.
+
+DESIGN.md decision 1: the adjacent-SUM trimmer overrides ``trim_interval`` to
+build the candidate region in one segment-tree pass.  The composed variant
+(two successive single-predicate trims, as written in Algorithm 1) represents
+the same answer set but materializes more helper tuples.
+"""
+
+import pytest
+
+from repro.baselines.materialize import answer_weights
+from repro.joins.counting import count_answers
+from repro.query.predicates import WeightInterval
+from repro.query.rewrite import ensure_canonical
+from repro.ranking.sum import SumRanking
+from repro.trim.sum_adjacent_trim import SumAdjacentTrimmer
+from repro.workloads.path import path_workload
+
+
+@pytest.fixture(scope="module")
+def instance():
+    workload = path_workload(
+        3, 600, join_domain=40, ranking=SumRanking(["x1", "x2", "x3"]), seed=59
+    )
+    query, db = ensure_canonical(workload.query, workload.db)
+    weights = answer_weights(workload.query, workload.db, workload.ranking)
+    interval = WeightInterval(low=weights[len(weights) // 4], high=weights[3 * len(weights) // 4])
+    return workload, query, db, interval
+
+
+def test_interval_single_pass(benchmark, instance):
+    workload, query, db, interval = instance
+    trimmer = SumAdjacentTrimmer(workload.ranking)
+
+    result = benchmark(lambda: trimmer.trim_interval(query, db, interval))
+
+    benchmark.extra_info["output_tuples"] = result.database.size
+    benchmark.extra_info["answers"] = count_answers(result.query, result.database)
+
+
+def test_interval_composed_trims(benchmark, instance):
+    workload, query, db, interval = instance
+    trimmer = SumAdjacentTrimmer(workload.ranking)
+
+    result = benchmark(
+        lambda: super(SumAdjacentTrimmer, trimmer).trim_interval(query, db, interval)
+    )
+
+    benchmark.extra_info["output_tuples"] = result.database.size
+    benchmark.extra_info["answers"] = count_answers(result.query, result.database)
+
+
+def test_both_variants_represent_the_same_answers(instance):
+    workload, query, db, interval = instance
+    trimmer = SumAdjacentTrimmer(workload.ranking)
+    single = trimmer.trim_interval(query, db, interval)
+    composed = super(SumAdjacentTrimmer, trimmer).trim_interval(query, db, interval)
+    assert count_answers(single.query, single.database) == count_answers(
+        composed.query, composed.database
+    )

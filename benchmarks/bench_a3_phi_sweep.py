@@ -1,0 +1,21 @@
+"""A3 — ablation: sensitivity of the pivoting algorithm to the quantile position.
+
+Algorithm 1's iteration count depends on the pivot quality, not on φ, so
+extreme quantiles should cost about the same as the median.
+"""
+
+import pytest
+
+from repro.core.solver import QuantileSolver
+
+
+@pytest.mark.parametrize("phi", [0.01, 0.5, 0.99])
+def test_phi_sensitivity(benchmark, minmax_workloads, phi):
+    workload = minmax_workloads[400]
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(phi))
+
+    assert result.exact
+    benchmark.extra_info["phi"] = phi
+    benchmark.extra_info["iterations"] = result.iterations

@@ -1,0 +1,24 @@
+"""A4 — ablation: guaranteed pivot quality vs join-tree width (Lemma 4.6).
+
+The guaranteed c shrinks geometrically with the number of children of a
+join-tree node, but pivot selection stays linear time; star queries of
+growing width make both effects visible.
+"""
+
+import pytest
+
+from repro.pivot.pivot_selection import select_pivot
+from repro.query.rewrite import ensure_canonical
+from repro.workloads.star import star_workload
+
+
+@pytest.mark.parametrize("arms", [2, 3, 4])
+def test_pivot_quality_vs_width(benchmark, arms):
+    workload = star_workload(arms, 300, hub_domain=30, seed=67 + arms)
+    query, db = ensure_canonical(workload.query, workload.db)
+
+    pivot = benchmark(lambda: select_pivot(query, db, workload.ranking))
+
+    assert pivot.c == pytest.approx(0.5 ** arms)
+    benchmark.extra_info["arms"] = arms
+    benchmark.extra_info["guaranteed_c"] = pivot.c

@@ -1,0 +1,52 @@
+"""E10 — crossover: pivoting vs materialization as the answer blow-up grows.
+
+On a binary join with fixed input size, the per-key fan-out controls how much
+larger the join result is than the database.  Materialization cost tracks the
+answer count; the pivoting solver's cost tracks the input size, so the
+speedup grows with the blow-up and the crossover sits at small fan-outs.
+"""
+
+import pytest
+
+from repro.baselines.materialize import materialize_quantile
+from repro.core.solver import QuantileSolver
+from repro.ranking.sum import SumRanking
+from repro.workloads.path import path_workload
+
+N = 600
+FANOUTS = [2, 20, 100]
+
+
+def make(fanout):
+    return path_workload(
+        2,
+        N,
+        join_domain=max(2, N // fanout),
+        ranking=SumRanking(["x1", "x2", "x3"]),
+        seed=43 + fanout,
+    )
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_pivoting_vs_fanout(benchmark, fanout):
+    workload = make(fanout)
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(0.5))
+
+    benchmark.extra_info["fanout"] = fanout
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_materialize_vs_fanout(benchmark, fanout):
+    workload = make(fanout)
+
+    result = benchmark.pedantic(
+        lambda: materialize_quantile(workload.query, workload.db, workload.ranking, phi=0.5),
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["fanout"] = fanout
+    benchmark.extra_info["answers"] = result.total_answers

@@ -1,0 +1,33 @@
+"""E11 — Lemma 6.3: ε-sketch compression micro-benchmark.
+
+Benchmarks sketch construction on a large multiset and asserts both the
+bucket-count bound (O(log_{1+ε} |L|)) and the rank-count guarantee.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.approx.sketch import count_below, epsilon_sketch, sketch_count_below
+
+ITEMS = [
+    (random.Random(47).random() * 1000.0, 1 + i % 4) for i in range(20_000)
+]
+
+
+@pytest.mark.parametrize("epsilon", [0.5, 0.1, 0.02])
+def test_sketch_construction(benchmark, epsilon):
+    buckets = benchmark(lambda: epsilon_sketch(ITEMS, epsilon, direction="upper"))
+
+    total = sum(m for _, m in ITEMS)
+    bound = 2 + math.log(total) / math.log(1 + epsilon)
+    assert len(buckets) <= bound
+    benchmark.extra_info["buckets"] = len(buckets)
+
+    rng = random.Random(1)
+    for _ in range(20):
+        threshold = rng.random() * 1000.0
+        exact = count_below(ITEMS, threshold)
+        approx = sketch_count_below(buckets, threshold)
+        assert (1 - epsilon) * exact - 1e-9 <= approx <= exact

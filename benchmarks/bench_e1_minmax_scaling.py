@@ -1,0 +1,48 @@
+"""E1 — Theorem 5.3: MIN/MAX quantiles in quasilinear time for acyclic JQs.
+
+Benchmarks the exact pivoting solver under a MAX ranking on 3-path workloads
+of growing size, plus the materialize-and-sort baseline at the largest size
+for the who-wins comparison, and a MIN variant on a star query (E1b).
+"""
+
+import pytest
+
+from repro.baselines.materialize import materialize_quantile
+from repro.core.solver import QuantileSolver
+
+
+@pytest.mark.parametrize("n", [200, 400, 800])
+def test_max_quantile_pivoting(benchmark, minmax_workloads, n):
+    workload = minmax_workloads[n]
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(0.5))
+
+    assert result.exact
+    assert result.strategy == "exact-pivot"
+    benchmark.extra_info["n"] = workload.database_size
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_max_quantile_materialize_baseline(benchmark, minmax_workloads):
+    workload = minmax_workloads[800]
+
+    result = benchmark.pedantic(
+        lambda: materialize_quantile(workload.query, workload.db, workload.ranking, phi=0.5),
+        rounds=1,
+        iterations=1,
+    )
+
+    pivoted = QuantileSolver(workload.query, workload.db, workload.ranking).quantile(0.5)
+    assert result.weight == pivoted.weight
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_min_quantile_on_star(benchmark, star_workload_fixture):
+    workload = star_workload_fixture
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(0.25))
+
+    assert result.exact
+    benchmark.extra_info["answers"] = result.total_answers

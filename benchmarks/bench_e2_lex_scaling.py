@@ -1,0 +1,29 @@
+"""E2 — Section 5.2: LEX quantiles via lexicographic trimming.
+
+Benchmarks the exact pivoting solver under a two-level lexicographic order on
+3-path workloads of growing size.
+"""
+
+import pytest
+
+from repro.baselines.materialize import materialize_quantile
+from repro.core.solver import QuantileSolver
+
+
+@pytest.mark.parametrize("n", [200, 400, 800])
+def test_lex_quantile_pivoting(benchmark, lex_workloads, n):
+    workload = lex_workloads[n]
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(0.75))
+
+    assert result.exact
+    assert result.strategy == "exact-pivot"
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_lex_quantile_matches_baseline(lex_workloads):
+    workload = lex_workloads[400]
+    pivoted = QuantileSolver(workload.query, workload.db, workload.ranking).quantile(0.75)
+    baseline = materialize_quantile(workload.query, workload.db, workload.ranking, phi=0.75)
+    assert pivoted.weight == baseline.weight

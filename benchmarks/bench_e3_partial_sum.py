@@ -1,0 +1,30 @@
+"""E3 — Theorem 5.6 (positive side): partial SUM on a 3-path query.
+
+The weighted variables {x1, x2, x3} fit two adjacent join-tree nodes, so the
+exact pivoting solver with the adjacent-SUM trimming applies even though the
+query has three atoms (the case the prior full-SUM dichotomy called hard).
+"""
+
+import pytest
+
+from repro.baselines.materialize import materialize_quantile
+from repro.core.solver import QuantileSolver
+
+
+@pytest.mark.parametrize("n", [200, 400])
+def test_partial_sum_pivoting(benchmark, partial_sum_workloads, n):
+    workload = partial_sum_workloads[n]
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(0.5))
+
+    assert result.exact
+    assert result.strategy == "exact-pivot"
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_partial_sum_matches_baseline(partial_sum_workloads):
+    workload = partial_sum_workloads[400]
+    pivoted = QuantileSolver(workload.query, workload.db, workload.ranking).quantile(0.5)
+    baseline = materialize_quantile(workload.query, workload.db, workload.ranking, phi=0.5)
+    assert pivoted.weight == baseline.weight

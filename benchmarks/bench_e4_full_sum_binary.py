@@ -1,0 +1,27 @@
+"""E4 — Section 2.3: full SUM over a binary (2-atom) join in O(n log n).
+
+This is the classic tractable SUM case recovered by the pivoting framework.
+"""
+
+import pytest
+
+from repro.baselines.materialize import materialize_quantile
+from repro.core.solver import QuantileSolver
+
+
+@pytest.mark.parametrize("n", [400, 800])
+def test_full_sum_binary_join(benchmark, binary_sum_workloads, n):
+    workload = binary_sum_workloads[n]
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(0.5))
+
+    assert result.exact
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_full_sum_binary_matches_baseline(binary_sum_workloads):
+    workload = binary_sum_workloads[400]
+    pivoted = QuantileSolver(workload.query, workload.db, workload.ranking).quantile(0.5)
+    baseline = materialize_quantile(workload.query, workload.db, workload.ranking, phi=0.5)
+    assert pivoted.weight == baseline.weight

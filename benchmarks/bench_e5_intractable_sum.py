@@ -1,0 +1,59 @@
+"""E5 — Theorems 5.6 (negative) and 6.2: full SUM on a 3-path query.
+
+Exact quasilinear evaluation is conditionally impossible, so this benchmark
+compares the three remaining options: exact materialization, the
+deterministic ε-approximation (pivoting with lossy trimming), and randomized
+sampling.  The approximations must stay within their rank-error guarantee.
+"""
+
+from repro.baselines.materialize import answer_weights, materialize_quantile
+from repro.bench.harness import observed_rank_error
+from repro.core.solver import QuantileSolver
+
+EPSILON = 0.25
+PHI = 0.5
+
+
+def _ground_truth(workload):
+    weights = answer_weights(workload.query, workload.db, workload.ranking)
+    target = min(len(weights) - 1, int(PHI * len(weights)))
+    return weights, target
+
+
+def test_materialize_baseline(benchmark, full_sum_workload):
+    workload = full_sum_workload
+
+    result = benchmark.pedantic(
+        lambda: materialize_quantile(workload.query, workload.db, workload.ranking, phi=PHI),
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_deterministic_approximation(benchmark, full_sum_workload):
+    workload = full_sum_workload
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking, epsilon=EPSILON)
+
+    result = benchmark.pedantic(lambda: solver.quantile(PHI), rounds=1, iterations=1)
+
+    weights, target = _ground_truth(workload)
+    error = observed_rank_error(weights, result.weight, target)
+    assert error <= EPSILON
+    benchmark.extra_info["observed_rank_error"] = error
+
+
+def test_sampling_approximation(benchmark, full_sum_workload):
+    workload = full_sum_workload
+    solver = QuantileSolver(
+        workload.query, workload.db, workload.ranking,
+        epsilon=EPSILON, strategy="sampling", seed=42,
+    )
+
+    result = benchmark.pedantic(lambda: solver.quantile(PHI), rounds=1, iterations=1)
+
+    weights, target = _ground_truth(workload)
+    error = observed_rank_error(weights, result.weight, target)
+    assert error <= EPSILON
+    benchmark.extra_info["observed_rank_error"] = error

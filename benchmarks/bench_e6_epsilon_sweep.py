@@ -1,0 +1,29 @@
+"""E6 — Theorem 6.2: cost of the deterministic approximation as ε shrinks.
+
+The running time of the lossy trimming grows as the sketches get finer
+(roughly with (log_{1+ε} N)² per join-tree edge); the observed rank error must
+stay within ε for every setting.
+"""
+
+import pytest
+
+from repro.baselines.materialize import answer_weights
+from repro.bench.harness import observed_rank_error
+from repro.core.solver import QuantileSolver
+
+PHI = 0.5
+
+
+@pytest.mark.parametrize("epsilon", [0.4, 0.2, 0.1])
+def test_epsilon_sweep(benchmark, full_sum_workload, epsilon):
+    workload = full_sum_workload
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking, epsilon=epsilon)
+
+    result = benchmark.pedantic(lambda: solver.quantile(PHI), rounds=1, iterations=1)
+
+    weights = answer_weights(workload.query, workload.db, workload.ranking)
+    target = min(len(weights) - 1, int(PHI * len(weights)))
+    error = observed_rank_error(weights, result.weight, target)
+    assert error <= epsilon
+    benchmark.extra_info["epsilon"] = epsilon
+    benchmark.extra_info["observed_rank_error"] = error

@@ -1,0 +1,47 @@
+"""E7 — Lemma 3.6 / Section 3.1: observed rank error of both approximations.
+
+Not primarily a timing benchmark: for several (φ, ε) settings it measures the
+observed position error of the deterministic and the randomized approximation
+against the materialized ground truth, asserting both stay within ε.
+"""
+
+import pytest
+
+from repro.baselines.materialize import answer_weights
+from repro.bench.harness import observed_rank_error
+from repro.core.solver import QuantileSolver
+
+
+@pytest.mark.parametrize("phi", [0.1, 0.5, 0.9])
+def test_deterministic_error(benchmark, full_sum_workload, phi):
+    workload = full_sum_workload
+    epsilon = 0.2
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking, epsilon=epsilon)
+
+    result = benchmark.pedantic(lambda: solver.quantile(phi), rounds=1, iterations=1)
+
+    weights = answer_weights(workload.query, workload.db, workload.ranking)
+    target = min(len(weights) - 1, int(phi * len(weights)))
+    error = observed_rank_error(weights, result.weight, target)
+    assert error <= epsilon
+    benchmark.extra_info["phi"] = phi
+    benchmark.extra_info["observed_rank_error"] = error
+
+
+@pytest.mark.parametrize("phi", [0.1, 0.5, 0.9])
+def test_sampling_error(benchmark, full_sum_workload, phi):
+    workload = full_sum_workload
+    epsilon = 0.2
+    solver = QuantileSolver(
+        workload.query, workload.db, workload.ranking,
+        epsilon=epsilon, strategy="sampling", seed=7,
+    )
+
+    result = benchmark.pedantic(lambda: solver.quantile(phi), rounds=1, iterations=1)
+
+    weights = answer_weights(workload.query, workload.db, workload.ranking)
+    target = min(len(weights) - 1, int(phi * len(weights)))
+    error = observed_rank_error(weights, result.weight, target)
+    assert error <= epsilon
+    benchmark.extra_info["phi"] = phi
+    benchmark.extra_info["observed_rank_error"] = error

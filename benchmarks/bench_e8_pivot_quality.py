@@ -1,0 +1,34 @@
+"""E8 — Lemma 4.1: pivot selection is linear time and well balanced.
+
+Benchmarks the pivot-selection subroutine alone (message passing with
+weighted medians) and records both the guaranteed ``c`` and the observed
+split balance against the materialized answers.
+"""
+
+import pytest
+
+from repro.baselines.materialize import answer_weights
+from repro.pivot.pivot_selection import select_pivot
+from repro.query.rewrite import ensure_canonical
+
+
+@pytest.mark.parametrize("n", [200, 400, 800])
+def test_pivot_selection_scaling(benchmark, minmax_workloads, n):
+    workload = minmax_workloads[n]
+    query, db = ensure_canonical(workload.query, workload.db)
+
+    pivot = benchmark(lambda: select_pivot(query, db, workload.ranking))
+
+    assert 0 < pivot.c <= 0.5
+    benchmark.extra_info["guaranteed_c"] = pivot.c
+    benchmark.extra_info["answers"] = pivot.total_answers
+
+
+def test_pivot_observed_balance(minmax_workloads):
+    workload = minmax_workloads[400]
+    query, db = ensure_canonical(workload.query, workload.db)
+    pivot = select_pivot(query, db, workload.ranking)
+    weights = answer_weights(workload.query, workload.db, workload.ranking)
+    below = sum(1 for w in weights if w <= pivot.weight) / len(weights)
+    above = sum(1 for w in weights if w >= pivot.weight) / len(weights)
+    assert below >= pivot.c and above >= pivot.c

@@ -1,0 +1,38 @@
+"""E9 — the introduction's social-network scenario.
+
+0.1-quantile of l2 + l3 over Admin ⋈ Share ⋈ Attend: a three-atom join whose
+partial-SUM ranking is tractable, evaluated without materializing the join.
+"""
+
+import pytest
+
+from repro.baselines.materialize import materialize_quantile
+from repro.core.solver import QuantileSolver
+
+PHI = 0.1
+
+
+@pytest.mark.parametrize("n", [400, 800])
+def test_social_network_pivoting(benchmark, social_workloads, n):
+    workload = social_workloads[n]
+    solver = QuantileSolver(workload.query, workload.db, workload.ranking)
+
+    result = benchmark(lambda: solver.quantile(PHI))
+
+    assert result.exact
+    assert result.strategy == "exact-pivot"
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_social_network_baseline(benchmark, social_workloads):
+    workload = social_workloads[800]
+
+    result = benchmark.pedantic(
+        lambda: materialize_quantile(workload.query, workload.db, workload.ranking, phi=PHI),
+        rounds=1,
+        iterations=1,
+    )
+
+    pivoted = QuantileSolver(workload.query, workload.db, workload.ranking).quantile(PHI)
+    assert result.weight == pivoted.weight
+    benchmark.extra_info["answers"] = result.total_answers

@@ -1,0 +1,81 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*`` file regenerates one experiment of the index in DESIGN.md at
+a scale that keeps the whole suite runnable in a few minutes.  The full-size
+tables are produced by ``python -m repro.bench`` (same code, larger
+parameters); EXPERIMENTS.md records those results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ranking.lex import LexRanking
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+from repro.workloads.path import path_workload
+from repro.workloads.social import social_network_workload
+from repro.workloads.star import star_workload
+
+
+def make_path(n, ranking=None, num_atoms=3, fanout=20, seed=101):
+    """A path workload with roughly constant per-key fan-out."""
+    return path_workload(
+        num_atoms,
+        n,
+        join_domain=max(2, n // fanout),
+        ranking=ranking,
+        seed=seed + n,
+    )
+
+
+@pytest.fixture(scope="session")
+def minmax_workloads():
+    return {
+        n: make_path(n, MaxRanking(["x1", "x4"])) for n in (200, 400, 800)
+    }
+
+
+@pytest.fixture(scope="session")
+def lex_workloads():
+    return {n: make_path(n, LexRanking(["x1", "x4"])) for n in (200, 400, 800)}
+
+
+@pytest.fixture(scope="session")
+def partial_sum_workloads():
+    return {n: make_path(n, SumRanking(["x1", "x2", "x3"])) for n in (200, 400)}
+
+
+@pytest.fixture(scope="session")
+def binary_sum_workloads():
+    return {
+        n: make_path(n, SumRanking(["x1", "x2", "x3"]), num_atoms=2, fanout=25)
+        for n in (400, 800)
+    }
+
+
+@pytest.fixture(scope="session")
+def full_sum_workload():
+    """A 3-path with full SUM: the conditionally intractable case."""
+    return make_path(200, SumRanking(["x1", "x2", "x3", "x4"]), fanout=10)
+
+
+@pytest.fixture(scope="session")
+def star_workload_fixture():
+    return star_workload(
+        3, 400, hub_domain=20, ranking=MinRanking(["x1", "x2", "x3"]), seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def social_workloads():
+    return {
+        n: social_network_workload(
+            num_admins=n // 3,
+            num_shares=n,
+            num_attends=n,
+            num_events=max(3, n // 30),
+            seed=11 + n,
+        )
+        for n in (400, 800)
+    }

@@ -1,0 +1,77 @@
+"""repro: Quantile Join Queries — efficient computation of quantiles over joins.
+
+A from-scratch Python reproduction of Tziavelis, Carmeli, Gatterbauer,
+Kimelfeld, and Riedewald, *"Efficient Computation of Quantiles over Joins"*
+(PODS 2023).  The library answers φ-quantile queries over the answers of an
+acyclic join query without materializing the join, using the paper's
+divide-and-conquer pivoting framework with ranking-specific trimmings, and
+provides deterministic and randomized approximation schemes for the
+conditionally intractable SUM cases.
+
+Quick start
+-----------
+>>> from repro import Atom, Database, JoinQuery, Relation, SumRanking, quantile
+>>> db = Database([
+...     Relation("R", ("x1", "x2"), [(i, i % 5) for i in range(20)]),
+...     Relation("S", ("x2", "x3"), [(i % 5, i) for i in range(20)]),
+... ])
+>>> q = JoinQuery([Atom("R", ("x1", "x2")), Atom("S", ("x2", "x3"))])
+>>> result = quantile(q, db, SumRanking(["x1", "x2", "x3"]), phi=0.5)
+>>> result.exact
+True
+"""
+
+from repro.core.result import IterationStats, QuantileResult
+from repro.core.solver import QuantileSolver, SolverPlan, quantile, selection
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.exceptions import (
+    CyclicQueryError,
+    EmptyResultError,
+    IntractableQueryError,
+    QueryError,
+    RankingError,
+    ReproError,
+    SchemaError,
+    SolverError,
+    TrimmingError,
+)
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.lex import LexRanking
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data
+    "Relation",
+    "Database",
+    # queries
+    "Atom",
+    "JoinQuery",
+    # rankings
+    "SumRanking",
+    "MinRanking",
+    "MaxRanking",
+    "LexRanking",
+    # solver
+    "QuantileSolver",
+    "SolverPlan",
+    "QuantileResult",
+    "IterationStats",
+    "quantile",
+    "selection",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "CyclicQueryError",
+    "EmptyResultError",
+    "RankingError",
+    "TrimmingError",
+    "IntractableQueryError",
+    "SolverError",
+]

@@ -1,0 +1,5 @@
+"""Baselines the paper compares against conceptually: materialize-and-sort."""
+
+from repro.baselines.materialize import answer_weights, materialize_quantile
+
+__all__ = ["materialize_quantile", "answer_weights"]

@@ -1,0 +1,12 @@
+"""Benchmark harness: experiment registry, runners, and table reporting."""
+
+from repro.bench.harness import ExperimentResult, time_call
+from repro.bench.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "time_call",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

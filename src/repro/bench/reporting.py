@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment tables."""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+
+
+def format_value(value) -> str:
+    """Render a cell value compactly."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render one experiment result as an aligned plain-text table."""
+    columns = list(result.columns)
+    rows = [[format_value(row.get(column)) for column in columns] for row in result.rows]
+    widths = [
+        max(len(column), *(len(row[i]) for row in rows)) if rows else len(column)
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        f"== {result.experiment}: {result.title} ==",
+        f"claim: {result.claim}",
+        "",
+        "  ".join(column.ljust(width) for column, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Print one experiment table to stdout."""
+    print(format_table(result))
+    print()

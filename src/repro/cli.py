@@ -1,0 +1,145 @@
+"""Command-line interface: quantile queries over CSV data.
+
+Usage (installed as ``python -m repro.cli``)::
+
+    python -m repro.cli \
+        --data ./my_database_dir \
+        --atom "R(x1, x2)" --atom "S(x2, x3)" \
+        --ranking sum --weights x1,x3 \
+        --phi 0.5
+
+The data directory must contain one CSV file per relation (header row =
+attribute names).  Atoms bind relation columns to query variables by
+position.  The output reports the chosen strategy, the answer weight, and the
+answer assignment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+from repro.core.solver import QuantileSolver
+from repro.data.io import load_database_csv
+from repro.exceptions import ReproError
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.base import RankingFunction
+from repro.ranking.lex import LexRanking
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+
+_ATOM_PATTERN = re.compile(r"^\s*(\w+)\s*\(([^)]*)\)\s*$")
+
+RANKINGS = {
+    "sum": SumRanking,
+    "min": MinRanking,
+    "max": MaxRanking,
+    "lex": LexRanking,
+}
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse ``"R(x, y)"`` into an :class:`Atom`."""
+    match = _ATOM_PATTERN.match(text)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"atom {text!r} is not of the form RelationName(var1, var2, ...)"
+        )
+    relation = match.group(1)
+    variables = [v.strip() for v in match.group(2).split(",") if v.strip()]
+    if not variables:
+        raise argparse.ArgumentTypeError(f"atom {text!r} has no variables")
+    return Atom(relation, tuple(variables))
+
+
+def build_ranking(kind: str, weighted: list[str]) -> RankingFunction:
+    """Instantiate the requested ranking over the given variables."""
+    return RANKINGS[kind](weighted)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Answer a quantile join query over CSV relations.",
+    )
+    parser.add_argument(
+        "--data", required=True,
+        help="directory containing one CSV file per relation (header = attributes)",
+    )
+    parser.add_argument(
+        "--atom", action="append", required=True, type=parse_atom, dest="atoms",
+        help='query atom, e.g. "R(x1, x2)"; repeat for every atom',
+    )
+    parser.add_argument(
+        "--ranking", choices=sorted(RANKINGS), default="sum",
+        help="ranking function (default: sum)",
+    )
+    parser.add_argument(
+        "--weights", required=True,
+        help="comma-separated weighted variables, in priority order for lex",
+    )
+    parser.add_argument("--phi", type=float, default=None, help="quantile position in [0, 1]")
+    parser.add_argument("--index", type=int, default=None, help="absolute 0-based answer index")
+    parser.add_argument("--epsilon", type=float, default=None, help="allowed position error")
+    parser.add_argument(
+        "--strategy", default="auto",
+        choices=["auto", "exact-pivot", "approx-pivot", "sampling", "materialize"],
+        help="force a solution strategy (default: auto)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="seed for the sampling strategy")
+    parser.add_argument("--count-only", action="store_true", help="only print |Q(D)| and exit")
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.count_only and (args.phi is None) == (args.index is None):
+        parser.error("provide exactly one of --phi and --index (or --count-only)")
+
+    try:
+        db = load_database_csv(args.data)
+        query = JoinQuery(args.atoms)
+        weighted = [v.strip() for v in args.weights.split(",") if v.strip()]
+        ranking = build_ranking(args.ranking, weighted)
+        solver = QuantileSolver(
+            query, db, ranking,
+            epsilon=args.epsilon, strategy=args.strategy, seed=args.seed,
+        )
+        if args.count_only:
+            payload = {"answers": solver.count(), "database_size": db.size}
+        else:
+            plan = solver.plan()
+            if args.phi is not None:
+                result = solver.quantile(args.phi)
+            else:
+                result = solver.selection(args.index)
+            payload = {
+                "strategy": result.strategy,
+                "plan_reason": plan.reason,
+                "exact": result.exact,
+                "epsilon": result.epsilon,
+                "total_answers": result.total_answers,
+                "target_index": result.target_index,
+                "weight": result.weight,
+                "assignment": result.assignment,
+                "pivot_iterations": result.iterations,
+            }
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(payload, default=str, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:16s}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The quantile join query solver: the paper's primary contribution."""
+
+from repro.core.quantile import pivoting_quantile
+from repro.core.result import IterationStats, QuantileResult
+from repro.core.solver import QuantileSolver, SolverPlan, quantile, selection
+
+__all__ = [
+    "QuantileResult",
+    "IterationStats",
+    "pivoting_quantile",
+    "QuantileSolver",
+    "SolverPlan",
+    "quantile",
+    "selection",
+]

@@ -1,0 +1,210 @@
+"""The pivoting quantile algorithm (Algorithm 1, Sections 3 and 3.1).
+
+Given an acyclic join query, a database, a ranking function, a requested
+position, and a trimmer for the ranking's inequalities, the algorithm
+repeatedly
+
+1. selects a c-pivot among the current candidate answers (Section 4),
+2. trims the less-than and greater-than partitions from the *original*
+   database, restricted to the current candidate interval, and
+3. counts the partitions to decide where the requested index falls,
+
+until the index falls into the equal-to partition (the pivot is returned) or
+the candidate set is small enough to materialize with the Yannakakis
+algorithm and finish with plain selection.
+
+With an exact trimmer the returned answer is an exact φ-quantile; with an
+ε-lossy trimmer it is a (φ ± ε)-quantile (Lemmas 3.3 and 3.6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.data.database import Database
+from repro.exceptions import EmptyResultError, SolverError
+from repro.joins.counting import count_answers
+from repro.joins.yannakakis import evaluate
+from repro.core.result import IterationStats, QuantileResult
+from repro.pivot.pivot_selection import select_pivot
+from repro.query.join_query import JoinQuery
+from repro.query.predicates import WeightInterval
+from repro.query.rewrite import ensure_canonical
+from repro.ranking.base import RankingFunction
+from repro.trim.base import Trimmer
+
+Assignment = dict[str, Any]
+
+
+def target_index_for(phi: float, total: int) -> int:
+    """The 0-based index of the φ-quantile in a sorted list of ``total`` answers.
+
+    Follows Algorithm 1 (line 4): ``⌊φ·|Q(D)|⌋``, clamped to ``[0, total−1]``.
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise ValueError(f"phi must be in [0, 1], got {phi}")
+    if total <= 0:
+        raise EmptyResultError("the query has no answers, so no quantile exists")
+    return min(total - 1, max(0, int(math.floor(phi * total))))
+
+
+def pivoting_quantile(
+    query: JoinQuery,
+    db: Database,
+    ranking: RankingFunction,
+    trimmer: Trimmer,
+    phi: float | None = None,
+    index: int | None = None,
+    epsilon: float | None = None,
+    termination_size: int | None = None,
+    max_iterations: int | None = None,
+    strategy_name: str | None = None,
+) -> QuantileResult:
+    """Run Algorithm 1 and return the requested (approximate) quantile.
+
+    Exactly one of ``phi`` (relative position) and ``index`` (absolute 0-based
+    position, the *selection problem*) must be given.
+
+    Parameters
+    ----------
+    trimmer:
+        The trimming construction for the ranking's inequalities; its
+        ``lossy`` flag decides whether the result is exact.
+    epsilon:
+        Reported approximation parameter (for lossy trimmers).
+    termination_size:
+        Materialize-and-select once at most this many candidates remain
+        (default: the database size, as in Algorithm 1).
+    max_iterations:
+        Safety bound on pivoting iterations (default: derived from the pivot
+        quality and the answer count).
+    """
+    if (phi is None) == (index is None):
+        raise ValueError("exactly one of phi and index must be provided")
+    ranking.validate_for(query.variables)
+    original_variables = set(query.variables)
+    base_query, base_db = ensure_canonical(query, db)
+
+    total = count_answers(base_query, base_db)
+    if total == 0:
+        raise EmptyResultError("the query has no answers, so no quantile exists")
+    if index is not None:
+        if not 0 <= index < total:
+            raise ValueError(f"index {index} out of range [0, {total})")
+        target = index
+    else:
+        target = target_index_for(phi, total)  # type: ignore[arg-type]
+
+    exact = not trimmer.lossy
+    strategy = strategy_name or ("exact-pivot" if exact else "approx-pivot")
+    if termination_size is None:
+        termination_size = max(base_db.size, 1)
+
+    interval = WeightInterval()
+    current_query, current_db = base_query, base_db
+    current_count = total
+    remaining_index = target
+    stats: list[IterationStats] = []
+    iteration_cap = max_iterations if max_iterations is not None else 0
+
+    while current_count > termination_size:
+        pivot = select_pivot(current_query, current_db, ranking)
+        if iteration_cap == 0:
+            # Derive a generous cap from the guaranteed elimination fraction.
+            c = max(pivot.c, 1e-3)
+            iteration_cap = int(math.ceil(math.log(max(total, 2)) / -math.log(1 - c))) + 20
+        if len(stats) >= iteration_cap:
+            raise SolverError(
+                f"pivoting did not converge within {iteration_cap} iterations; "
+                "this indicates an inconsistent trimmer"
+            )
+        pivot_weight = pivot.weight
+        lt_interval = interval.with_high(pivot_weight, strict=True)
+        gt_interval = interval.with_low(pivot_weight, strict=True)
+        lt = trimmer.trim_interval(base_query, base_db, lt_interval)
+        gt = trimmer.trim_interval(base_query, base_db, gt_interval)
+        count_lt = count_answers(lt.query, lt.database)
+        count_gt = count_answers(gt.query, gt.database)
+        count_eq = max(0, current_count - count_lt - count_gt)
+
+        if remaining_index < count_lt:
+            chosen = "lt"
+            interval = lt_interval
+            current_query, current_db = lt.query, lt.database
+            current_count = count_lt
+        elif remaining_index < count_lt + count_eq:
+            chosen = "eq"
+        else:
+            chosen = "gt"
+            remaining_index -= count_lt + count_eq
+            interval = gt_interval
+            current_query, current_db = gt.query, gt.database
+            current_count = count_gt
+        stats.append(
+            IterationStats(
+                pivot_weight=pivot_weight,
+                c=pivot.c,
+                count_lt=count_lt,
+                count_eq=count_eq,
+                count_gt=count_gt,
+                candidate_count=current_count if chosen == "eq" else current_count,
+                chosen=chosen,
+            )
+        )
+        if chosen == "eq":
+            assignment = _project(pivot.assignment, original_variables)
+            return QuantileResult(
+                assignment=assignment,
+                weight=pivot_weight,
+                target_index=target,
+                total_answers=total,
+                strategy=strategy,
+                exact=exact,
+                epsilon=epsilon,
+                iterations=len(stats),
+                stats=tuple(stats),
+            )
+        if current_count == 0:
+            # Can happen with lossy trims (all candidates lost) or when the
+            # remaining candidates all share the pivot weight; fall back to
+            # returning the pivot, whose position error is already bounded.
+            assignment = _project(pivot.assignment, original_variables)
+            return QuantileResult(
+                assignment=assignment,
+                weight=pivot_weight,
+                target_index=target,
+                total_answers=total,
+                strategy=strategy,
+                exact=exact,
+                epsilon=epsilon,
+                iterations=len(stats),
+                stats=tuple(stats),
+            )
+
+    # Materialize the remaining candidates and finish with plain selection.
+    answers = evaluate(current_query, current_db)
+    if not answers:
+        raise SolverError("no candidate answers remained to materialize")
+    answers.sort(key=ranking.weight_of)
+    position = min(remaining_index, len(answers) - 1)
+    chosen_answer = answers[position]
+    assignment = _project(chosen_answer, original_variables)
+    return QuantileResult(
+        assignment=assignment,
+        weight=ranking.weight_of(chosen_answer),
+        target_index=target,
+        total_answers=total,
+        strategy=strategy,
+        exact=exact,
+        epsilon=epsilon,
+        iterations=len(stats),
+        stats=tuple(stats),
+    )
+
+
+def _project(assignment: Assignment, variables: set[str]) -> Assignment:
+    """Drop helper variables introduced by canonicalization or trimming."""
+    return {
+        variable: value for variable, value in assignment.items() if variable in variables
+    }

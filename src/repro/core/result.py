@@ -1,0 +1,84 @@
+"""Result objects returned by the quantile algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+Assignment = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Diagnostics for one iteration of the pivoting algorithm (Algorithm 1).
+
+    Attributes
+    ----------
+    pivot_weight:
+        Weight of the pivot selected in this iteration.
+    c:
+        Guaranteed pivot quality returned by pivot selection.
+    count_lt, count_eq, count_gt:
+        Sizes of the three partitions (equal-to is inferred, never counted
+        directly).
+    candidate_count:
+        Number of candidate answers at the start of the iteration.
+    chosen:
+        Which partition the search continued in (``"lt"``, ``"eq"``, ``"gt"``).
+    """
+
+    pivot_weight: Any
+    c: float
+    count_lt: int
+    count_eq: int
+    count_gt: int
+    candidate_count: int
+    chosen: str
+
+
+@dataclass(frozen=True)
+class QuantileResult:
+    """The answer returned for a quantile (or selection) query.
+
+    Attributes
+    ----------
+    assignment:
+        The returned query answer, projected onto the original query
+        variables.
+    weight:
+        Its weight under the ranking function.
+    target_index:
+        The 0-based index of the requested answer (``⌊φ·|Q(D)|⌋`` for
+        quantiles, clamped to the valid range).
+    total_answers:
+        ``|Q(D)|``.
+    strategy:
+        Which algorithm produced the answer (``"exact-pivot"``,
+        ``"approx-pivot"``, ``"sampling"``, ``"materialize"``).
+    exact:
+        Whether the answer is guaranteed to be an exact φ-quantile.
+    epsilon:
+        The approximation parameter used, if any.
+    iterations:
+        Number of pivoting iterations performed (0 for non-pivoting
+        strategies).
+    stats:
+        Per-iteration diagnostics.
+    """
+
+    assignment: Assignment
+    weight: Any
+    target_index: int
+    total_answers: int
+    strategy: str
+    exact: bool
+    epsilon: float | None = None
+    iterations: int = 0
+    stats: tuple[IterationStats, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        kind = "exact" if self.exact else f"approximate (epsilon={self.epsilon})"
+        return (
+            f"QuantileResult(weight={self.weight!r}, index={self.target_index}/"
+            f"{self.total_answers}, strategy={self.strategy}, {kind})"
+        )

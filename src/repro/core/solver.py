@@ -1,0 +1,269 @@
+"""The quantile solver facade: strategy selection and the public entry points.
+
+:class:`QuantileSolver` classifies a (query, ranking) pair — always tractable
+for MIN/MAX/LEX on acyclic queries (Theorem 5.3, Section 5.2), the Theorem 5.6
+dichotomy for SUM — and dispatches to the matching algorithm:
+
+* ``exact-pivot``: Algorithm 1 with an exact trimmer,
+* ``approx-pivot``: Algorithm 1 with the ε-lossy SUM trimmer (Theorem 6.2),
+* ``sampling``: the randomized approximation of Section 3.1,
+* ``materialize``: the direct baseline (always available as a fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.lossy_sum_trim import LossySumTrimmer
+from repro.approx.randomized import sampling_quantile
+from repro.baselines.materialize import materialize_quantile
+from repro.core.quantile import pivoting_quantile, target_index_for
+from repro.core.result import QuantileResult
+from repro.data.database import Database
+from repro.exceptions import IntractableQueryError, RankingError, SolverError
+from repro.joins.counting import count_answers
+from repro.query.classify import SumClassification, classify_always_tractable, classify_sum
+from repro.query.join_query import JoinQuery
+from repro.query.rewrite import ensure_canonical
+from repro.ranking.base import RankingFunction
+from repro.ranking.lex import LexRanking
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+from repro.trim.base import Trimmer
+from repro.trim.lex_trim import LexTrimmer
+from repro.trim.minmax_trim import MinMaxTrimmer
+from repro.trim.sum_adjacent_trim import SumAdjacentTrimmer
+
+#: Strategy identifiers accepted by :class:`QuantileSolver`.
+STRATEGIES = ("auto", "exact-pivot", "approx-pivot", "sampling", "materialize")
+
+
+@dataclass(frozen=True)
+class SolverPlan:
+    """The strategy the solver picked and why.
+
+    Attributes
+    ----------
+    strategy:
+        One of ``"exact-pivot"``, ``"approx-pivot"``, ``"sampling"``,
+        ``"materialize"``.
+    classification:
+        The dichotomy classification of the (query, ranking) pair.
+    reason:
+        Human-readable explanation of the choice.
+    """
+
+    strategy: str
+    classification: SumClassification
+    reason: str
+
+
+class QuantileSolver:
+    """Answer quantile (and selection) queries over a join query.
+
+    Parameters
+    ----------
+    query, db, ranking:
+        The quantile join query: a join query, its database, and the ranking
+        function ordering the answers.
+    epsilon:
+        Allowed position error.  Required for conditionally intractable SUM
+        queries (unless ``strategy="materialize"``); optional otherwise.
+    strategy:
+        ``"auto"`` (default) picks per the dichotomy; the other values force a
+        specific algorithm.
+    seed:
+        Seed for the randomized sampling strategy.
+
+    Examples
+    --------
+    >>> # See examples/quickstart.py for an end-to-end example.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        db: Database,
+        ranking: RankingFunction,
+        epsilon: float | None = None,
+        strategy: str = "auto",
+        seed: int | None = None,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise SolverError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+        ranking.validate_for(query.variables)
+        self.query = query
+        self.db = db
+        self.ranking = ranking
+        self.epsilon = epsilon
+        self.strategy = strategy
+        self.seed = seed
+        self._plan: SolverPlan | None = None
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def classification(self) -> SumClassification:
+        """Dichotomy classification of the (query, ranking) pair."""
+        if isinstance(self.ranking, SumRanking):
+            return classify_sum(self.query, frozenset(self.ranking.weighted_variables))
+        return classify_always_tractable(self.query)
+
+    def plan(self) -> SolverPlan:
+        """Decide (and cache) which algorithm to run."""
+        if self._plan is not None:
+            return self._plan
+        classification = self.classification()
+        if self.strategy != "auto":
+            self._plan = SolverPlan(
+                self.strategy, classification, f"strategy forced to {self.strategy!r}"
+            )
+            return self._plan
+        if classification.is_tractable:
+            self._plan = SolverPlan(
+                "exact-pivot",
+                classification,
+                f"tractable: {classification.reason}",
+            )
+        elif self.epsilon is not None and isinstance(self.ranking, SumRanking):
+            self._plan = SolverPlan(
+                "approx-pivot",
+                classification,
+                "conditionally intractable for exact evaluation "
+                f"({classification.reason}); using the deterministic "
+                f"epsilon-approximation with epsilon={self.epsilon}",
+            )
+        else:
+            raise IntractableQueryError(
+                "exact quantile evaluation is conditionally intractable: "
+                f"{classification.reason}. Provide epsilon= for an approximate "
+                "answer, or force strategy='materialize' / 'sampling'."
+            )
+        return self._plan
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def count(self) -> int:
+        """Number of answers ``|Q(D)|`` (linear time)."""
+        return count_answers(*ensure_canonical(self.query, self.db))
+
+    def quantile(self, phi: float) -> QuantileResult:
+        """Return the φ-quantile of the query answers."""
+        return self._solve(phi=phi)
+
+    def selection(self, index: int) -> QuantileResult:
+        """Return the answer at absolute 0-based ``index`` (selection problem)."""
+        return self._solve(index=index)
+
+    def _solve(self, phi: float | None = None, index: int | None = None) -> QuantileResult:
+        plan = self.plan()
+        if plan.strategy == "materialize":
+            return materialize_quantile(self.query, self.db, self.ranking, phi=phi, index=index)
+        if plan.strategy == "sampling":
+            return self._solve_by_sampling(phi=phi, index=index)
+        if plan.strategy == "exact-pivot":
+            trimmer = self._exact_trimmer(plan)
+            return pivoting_quantile(
+                self.query, self.db, self.ranking, trimmer, phi=phi, index=index
+            )
+        if plan.strategy == "approx-pivot":
+            if self.epsilon is None:
+                raise SolverError("the approx-pivot strategy requires epsilon")
+            if not isinstance(self.ranking, SumRanking):
+                raise SolverError("the approx-pivot strategy only applies to SUM rankings")
+            trimmer = LossySumTrimmer(self.ranking, epsilon=self.epsilon / 4.0)
+            return pivoting_quantile(
+                self.query,
+                self.db,
+                self.ranking,
+                trimmer,
+                phi=phi,
+                index=index,
+                epsilon=self.epsilon,
+            )
+        raise SolverError(f"unhandled strategy {plan.strategy!r}")
+
+    # ------------------------------------------------------------------ #
+    def _exact_trimmer(self, plan: SolverPlan) -> Trimmer:
+        if isinstance(self.ranking, (MinRanking, MaxRanking)):
+            return MinMaxTrimmer(self.ranking)
+        if isinstance(self.ranking, LexRanking):
+            return LexTrimmer(self.ranking)
+        if isinstance(self.ranking, SumRanking):
+            if not plan.classification.is_tractable and self.strategy == "exact-pivot":
+                raise IntractableQueryError(
+                    "exact-pivot was forced but the SUM query is conditionally "
+                    f"intractable: {plan.classification.reason}"
+                )
+            return SumAdjacentTrimmer(self.ranking)
+        raise RankingError(
+            f"no exact trimming construction is known for {self.ranking.describe()}"
+        )
+
+    def _solve_by_sampling(
+        self, phi: float | None = None, index: int | None = None
+    ) -> QuantileResult:
+        if self.epsilon is None:
+            raise SolverError("the sampling strategy requires epsilon")
+        canonical_query, canonical_db = ensure_canonical(self.query, self.db)
+        total = count_answers(canonical_query, canonical_db)
+        if index is not None:
+            if total == 0:
+                raise SolverError("the query has no answers")
+            phi = index / total
+        assert phi is not None
+        outcome = sampling_quantile(
+            canonical_query,
+            canonical_db,
+            self.ranking,
+            phi=phi,
+            epsilon=self.epsilon,
+            seed=self.seed,
+        )
+        original = set(self.query.variables)
+        assignment = {k: v for k, v in outcome.assignment.items() if k in original}
+        return QuantileResult(
+            assignment=assignment,
+            weight=outcome.weight,
+            target_index=target_index_for(phi, total),
+            total_answers=total,
+            strategy="sampling",
+            exact=False,
+            epsilon=self.epsilon,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Convenience functions
+# ---------------------------------------------------------------------- #
+def quantile(
+    query: JoinQuery,
+    db: Database,
+    ranking: RankingFunction,
+    phi: float,
+    epsilon: float | None = None,
+    strategy: str = "auto",
+    seed: int | None = None,
+) -> QuantileResult:
+    """One-shot φ-quantile query (see :class:`QuantileSolver`)."""
+    solver = QuantileSolver(
+        query, db, ranking, epsilon=epsilon, strategy=strategy, seed=seed
+    )
+    return solver.quantile(phi)
+
+
+def selection(
+    query: JoinQuery,
+    db: Database,
+    ranking: RankingFunction,
+    index: int,
+    epsilon: float | None = None,
+    strategy: str = "auto",
+    seed: int | None = None,
+) -> QuantileResult:
+    """One-shot selection query: the answer at absolute 0-based ``index``."""
+    solver = QuantileSolver(
+        query, db, ranking, epsilon=epsilon, strategy=strategy, seed=seed
+    )
+    return solver.selection(index)

@@ -1,0 +1,6 @@
+"""In-memory relational data substrate: relations and databases."""
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+__all__ = ["Relation", "Database"]

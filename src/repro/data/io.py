@@ -1,0 +1,97 @@
+"""Loading and saving relations as CSV files.
+
+A small but practical layer so that the library can be used on real data
+without writing Python: every relation is one CSV file whose header row names
+the attributes, and a database is a directory of such files (file stem =
+relation name).  Values are parsed as ``int`` when possible, then ``float``,
+then kept as strings — the ranking functions only require the weighted
+attributes to be numeric.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.exceptions import SchemaError
+
+
+def parse_value(text: str) -> Any:
+    """Parse one CSV cell: int if possible, else float, else the raw string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def load_relation_csv(path: str | Path, name: str | None = None) -> Relation:
+    """Load one relation from a CSV file with a header row.
+
+    Parameters
+    ----------
+    path:
+        The CSV file.  The first row is the schema (attribute names).
+    name:
+        Relation name; defaults to the file stem.
+
+    Raises
+    ------
+    SchemaError
+        If the file is empty or a row has the wrong number of columns.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty (no header row)") from None
+        schema = tuple(column.strip() for column in header)
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(schema)} columns, got {len(row)}"
+                )
+            rows.append(tuple(parse_value(cell.strip()) for cell in row))
+    return Relation(name or path.stem, schema, rows)
+
+
+def save_relation_csv(relation: Relation, path: str | Path) -> None:
+    """Write one relation to a CSV file (header row + one row per tuple)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema)
+        writer.writerows(relation.rows)
+
+
+def load_database_csv(directory: str | Path, pattern: str = "*.csv") -> Database:
+    """Load every ``*.csv`` file of a directory as one relation of a database."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise SchemaError(f"{directory} is not a directory")
+    db = Database()
+    for path in sorted(directory.glob(pattern)):
+        db.add(load_relation_csv(path))
+    if len(db) == 0:
+        raise SchemaError(f"no CSV files matching {pattern!r} found in {directory}")
+    return db
+
+
+def save_database_csv(db: Database, directory: str | Path) -> None:
+    """Write every relation of a database as a CSV file in ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in db:
+        save_relation_csv(relation, directory / f"{relation.name}.csv")

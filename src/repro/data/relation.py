@@ -1,0 +1,264 @@
+"""Relations: named, schema'd collections of tuples.
+
+A :class:`Relation` is the basic storage unit of the database substrate
+(system S1 in DESIGN.md).  It is deliberately simple — an immutable-ish list
+of plain Python tuples plus a schema of attribute names — because the paper's
+algorithms only need scanning, filtering, grouping, and projection, all in
+time linear in the number of tuples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.exceptions import SchemaError
+
+Value = Any
+Row = tuple[Value, ...]
+
+
+class Relation:
+    """A named relation with a fixed schema and a list of tuples.
+
+    Parameters
+    ----------
+    name:
+        Relation symbol (e.g. ``"R"``).  Used for error messages and for
+        looking the relation up in a :class:`~repro.data.database.Database`.
+    schema:
+        Attribute names, one per column.  Attribute names are plain strings;
+        when a relation is materialized for a query atom, they coincide with
+        the atom's variable names.
+    rows:
+        Iterable of tuples, each of the same arity as ``schema``.
+
+    Examples
+    --------
+    >>> r = Relation("R", ("x", "y"), [(1, 2), (3, 4)])
+    >>> r.arity
+    2
+    >>> len(r)
+    2
+    >>> r.column("y")
+    [2, 4]
+    """
+
+    __slots__ = ("name", "schema", "rows", "_index_of")
+
+    def __init__(self, name: str, schema: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        self.name = name
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise SchemaError(
+                f"relation {name!r} has duplicate attribute names: {self.schema}"
+            )
+        self._index_of = {attr: i for i, attr in enumerate(self.schema)}
+        materialized: list[Row] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(self.schema):
+                raise SchemaError(
+                    f"tuple {row!r} has arity {len(row)}, but relation {name!r} "
+                    f"expects arity {len(self.schema)}"
+                )
+            materialized.append(row)
+        self.rows: list[Row] = materialized
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.schema)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in set(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.schema == other.schema
+            and sorted(self.rows, key=repr) == sorted(other.rows, key=repr)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are not hashed in hot paths
+        return hash((self.name, self.schema, len(self.rows)))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {self.schema!r}, {len(self.rows)} rows)"
+
+    # ------------------------------------------------------------------ #
+    # Schema helpers
+    # ------------------------------------------------------------------ #
+    def position(self, attribute: str) -> int:
+        """Return the column index of ``attribute``.
+
+        Raises :class:`~repro.exceptions.SchemaError` if the attribute does
+        not exist.
+        """
+        try:
+            return self._index_of[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"schema is {self.schema}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Return whether ``attribute`` is part of the schema."""
+        return attribute in self._index_of
+
+    def value(self, row: Row, attribute: str) -> Value:
+        """Return the value assigned to ``attribute`` in ``row``."""
+        return row[self.position(attribute)]
+
+    def column(self, attribute: str) -> list[Value]:
+        """Return all values of one column, in row order."""
+        pos = self.position(attribute)
+        return [row[pos] for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # Relational operations (all linear time)
+    # ------------------------------------------------------------------ #
+    def add(self, row: Row) -> None:
+        """Append a tuple, validating its arity."""
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, but relation {self.name!r} "
+                f"expects arity {len(self.schema)}"
+            )
+        self.rows.append(row)
+
+    def filter(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Relation":
+        """Return a new relation with the rows satisfying ``predicate``."""
+        return Relation(name or self.name, self.schema, [r for r in self.rows if predicate(r)])
+
+    def filter_attribute(
+        self, attribute: str, predicate: Callable[[Value], bool], name: str | None = None
+    ) -> "Relation":
+        """Return a new relation keeping rows where ``predicate(value)`` holds
+        for the value of ``attribute``."""
+        pos = self.position(attribute)
+        return Relation(
+            name or self.name, self.schema, [r for r in self.rows if predicate(r[pos])]
+        )
+
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """Project onto ``attributes`` (duplicates are preserved)."""
+        positions = [self.position(a) for a in attributes]
+        return Relation(
+            name or self.name,
+            tuple(attributes),
+            [tuple(row[p] for p in positions) for row in self.rows],
+        )
+
+    def distinct(self, name: str | None = None) -> "Relation":
+        """Return a duplicate-free copy (order of first occurrence preserved)."""
+        seen: set[Row] = set()
+        rows: list[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation(name or self.name, self.schema, rows)
+
+    def rename(self, name: str) -> "Relation":
+        """Return a copy of the relation under a new name (rows shared)."""
+        clone = Relation(name, self.schema, ())
+        clone.rows = list(self.rows)
+        return clone
+
+    def with_schema(self, schema: Sequence[str], name: str | None = None) -> "Relation":
+        """Return a copy with columns relabeled (arity must match)."""
+        if len(schema) != len(self.schema):
+            raise SchemaError(
+                f"cannot relabel relation {self.name!r} of arity {len(self.schema)} "
+                f"with schema of arity {len(schema)}"
+            )
+        clone = Relation(name or self.name, schema, ())
+        clone.rows = list(self.rows)
+        return clone
+
+    def extend(
+        self,
+        attribute: str,
+        values: Callable[[Row], Value],
+        name: str | None = None,
+    ) -> "Relation":
+        """Return a new relation with one extra column computed per row."""
+        if self.has_attribute(attribute):
+            raise SchemaError(
+                f"relation {self.name!r} already has an attribute {attribute!r}"
+            )
+        return Relation(
+            name or self.name,
+            self.schema + (attribute,),
+            [row + (values(row),) for row in self.rows],
+        )
+
+    def group_by(self, attributes: Sequence[str]) -> dict[Row, list[Row]]:
+        """Group rows by their values on ``attributes``.
+
+        Returns a dict mapping each distinct key (tuple of values, in the
+        order of ``attributes``) to the list of rows in that group.  An empty
+        ``attributes`` sequence returns a single group keyed by ``()``.
+        """
+        positions = [self.position(a) for a in attributes]
+        groups: dict[Row, list[Row]] = {}
+        for row in self.rows:
+            key = tuple(row[p] for p in positions)
+            groups.setdefault(key, []).append(row)
+        return groups
+
+    def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Semi-join: keep rows that agree with at least one row of ``other``
+        on the shared attributes.  If there are no shared attributes and
+        ``other`` is non-empty, all rows are kept (Cartesian semantics)."""
+        shared = [a for a in self.schema if other.has_attribute(a)]
+        if not shared:
+            rows = list(self.rows) if len(other) else []
+            return Relation(name or self.name, self.schema, rows)
+        other_keys = {
+            tuple(other.value(row, a) for a in shared) for row in other.rows
+        }
+        positions = [self.position(a) for a in shared]
+        return Relation(
+            name or self.name,
+            self.schema,
+            [r for r in self.rows if tuple(r[p] for p in positions) in other_keys],
+        )
+
+    def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join on shared attribute names (hash join, linear + output)."""
+        shared = [a for a in self.schema if other.has_attribute(a)]
+        other_extra = [a for a in other.schema if not self.has_attribute(a)]
+        out_schema = self.schema + tuple(other_extra)
+        result = Relation(name or f"{self.name}_join_{other.name}", out_schema, ())
+        if not shared:
+            extra_positions = [other.position(a) for a in other_extra]
+            for left in self.rows:
+                for right in other.rows:
+                    result.add(left + tuple(right[p] for p in extra_positions))
+            return result
+        index: dict[Row, list[Row]] = {}
+        other_shared_pos = [other.position(a) for a in shared]
+        for row in other.rows:
+            index.setdefault(tuple(row[p] for p in other_shared_pos), []).append(row)
+        self_shared_pos = [self.position(a) for a in shared]
+        extra_positions = [other.position(a) for a in other_extra]
+        for left in self.rows:
+            key = tuple(left[p] for p in self_shared_pos)
+            for right in index.get(key, ()):
+                result.add(left + tuple(right[p] for p in extra_positions))
+        return result

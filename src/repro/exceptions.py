@@ -1,0 +1,67 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database violates its declared schema.
+
+    Raised, for example, when a tuple has the wrong arity for its relation, or
+    when a database is missing a relation referenced by a query atom.
+    """
+
+
+class QueryError(ReproError):
+    """A join query is malformed or incompatible with the database."""
+
+
+class CyclicQueryError(QueryError):
+    """The join query is cyclic and the requested operation needs acyclicity.
+
+    The paper's algorithms (pivot selection, counting, trimming) require an
+    acyclic query: for cyclic queries even deciding non-emptiness in
+    quasilinear time is conditionally impossible (Section 2.3).
+    """
+
+
+class EmptyResultError(ReproError):
+    """The query has no answers, so no quantile exists."""
+
+
+class RankingError(ReproError):
+    """A ranking function is misconfigured.
+
+    Examples: a weighted variable that does not occur in the query, or a LEX
+    order over an empty variable list.
+    """
+
+
+class TrimmingError(ReproError):
+    """A trimming construction cannot be applied to the given query.
+
+    Raised by the exact SUM trimmer when the weighted variables cannot be
+    placed on at most two adjacent join-tree nodes (the intractable side of
+    the Theorem 5.6 dichotomy).
+    """
+
+
+class IntractableQueryError(ReproError):
+    """Exact evaluation of the quantile query is conditionally intractable.
+
+    Raised by the solver when the (query, ranking) pair falls on the negative
+    side of the dichotomy of Theorem 5.6 and the caller did not allow an
+    approximate or materializing fallback.
+    """
+
+
+class SolverError(ReproError):
+    """The quantile solver reached an inconsistent internal state."""

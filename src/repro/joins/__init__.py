@@ -1,0 +1,16 @@
+"""Join processing over acyclic queries: message passing, counting,
+Yannakakis evaluation, sampling, and direct access."""
+
+from repro.joins.counting import count_answers
+from repro.joins.direct_access import DirectAccess
+from repro.joins.message_passing import MaterializedTree
+from repro.joins.sampling import AnswerSampler
+from repro.joins.yannakakis import evaluate
+
+__all__ = [
+    "MaterializedTree",
+    "count_answers",
+    "evaluate",
+    "AnswerSampler",
+    "DirectAccess",
+]

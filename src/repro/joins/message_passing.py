@@ -1,0 +1,170 @@
+"""Materialized rooted join trees: the substrate for message passing.
+
+The message-passing pattern of Section 2.4 traverses a rooted join tree
+bottom-up, with every node holding a materialized relation whose tuples send
+messages to the join group they belong to in the parent.  This module builds
+that structure once so that counting (Example 2.1), pivot selection
+(Section 4), and the sketch-based lossy trimming (Section 6) can all reuse it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.data.database import Database
+from repro.exceptions import QueryError
+from repro.query.join_query import JoinQuery
+from repro.query.join_tree import RootedJoinTree, build_join_tree
+
+Row = tuple[Any, ...]
+Assignment = dict[str, Any]
+
+
+class MaterializedTree:
+    """A rooted join tree with one materialized relation per node.
+
+    For every node, the materialized relation has one column per *distinct*
+    variable of the corresponding atom (tuples violating a repeated-variable
+    constraint such as ``R(x, x)`` are dropped).  For every parent-child edge,
+    the child's rows are grouped by the shared ("join") variables, exactly the
+    *join groups* of Section 2.4.
+
+    Parameters
+    ----------
+    query, db:
+        The acyclic join query and its database.
+    rooted:
+        Optionally, a pre-built rooted join tree (e.g. one where two specific
+        atoms were forced to be adjacent); by default a join tree is built and
+        rooted at atom 0.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        db: Database,
+        rooted: RootedJoinTree | None = None,
+    ) -> None:
+        self.query = query
+        self.db = db
+        self.rooted = rooted or build_join_tree(query).rooted()
+        if self.rooted.query is not query:
+            # Allow structurally identical queries (e.g. reconstructed ones).
+            if self.rooted.query != query:
+                raise QueryError("rooted join tree does not belong to the given query")
+        self.node_variables: dict[int, tuple[str, ...]] = {}
+        self.node_rows: dict[int, list[Row]] = {}
+        for node in self.rooted.tree.nodes():
+            variables, rows = _materialize_atom(query, db, node)
+            self.node_variables[node] = variables
+            self.node_rows[node] = rows
+        # child group indexes: (parent, child) -> {key: [child row indices]}
+        self._groups: dict[tuple[int, int], dict[Row, list[int]]] = {}
+        self._join_vars: dict[tuple[int, int], tuple[str, ...]] = {}
+        for parent in self.rooted.top_down_order():
+            for child in self.rooted.children[parent]:
+                join_vars = self.rooted.join_variables(parent, child)
+                self._join_vars[(parent, child)] = join_vars
+                positions = [self.node_variables[child].index(v) for v in join_vars]
+                groups: dict[Row, list[int]] = {}
+                for index, row in enumerate(self.node_rows[child]):
+                    key = tuple(row[p] for p in positions)
+                    groups.setdefault(key, []).append(index)
+                self._groups[(parent, child)] = groups
+
+    # ------------------------------------------------------------------ #
+    # Structure accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> int:
+        """The root node (atom index)."""
+        return self.rooted.root
+
+    def nodes_bottom_up(self) -> list[int]:
+        """Nodes in bottom-up (children before parents) order."""
+        return self.rooted.bottom_up_order()
+
+    def nodes_top_down(self) -> list[int]:
+        """Nodes in top-down (parents before children) order."""
+        return self.rooted.top_down_order()
+
+    def children(self, node: int) -> list[int]:
+        """Children of ``node`` in the rooted tree."""
+        return self.rooted.children[node]
+
+    def variables(self, node: int) -> tuple[str, ...]:
+        """Schema (distinct variables) of the node's materialized relation."""
+        return self.node_variables[node]
+
+    def rows(self, node: int) -> list[Row]:
+        """Materialized rows of the node."""
+        return self.node_rows[node]
+
+    def join_variables(self, parent: int, child: int) -> tuple[str, ...]:
+        """Variables shared by a parent/child pair."""
+        return self._join_vars[(parent, child)]
+
+    def child_groups(self, parent: int, child: int) -> dict[Row, list[int]]:
+        """Join groups of the child relation, keyed by shared-variable values."""
+        return self._groups[(parent, child)]
+
+    # ------------------------------------------------------------------ #
+    # Row helpers
+    # ------------------------------------------------------------------ #
+    def assignment(self, node: int, row: Row) -> Assignment:
+        """The variable assignment represented by one row of a node."""
+        return dict(zip(self.node_variables[node], row))
+
+    def parent_group_key(self, parent: int, row: Row, child: int) -> Row:
+        """The join-group key a parent row selects in one of its children."""
+        variables = self.node_variables[parent]
+        join_vars = self._join_vars[(parent, child)]
+        positions = [variables.index(v) for v in join_vars]
+        return tuple(row[p] for p in positions)
+
+    def total_rows(self) -> int:
+        """Total number of materialized rows across all nodes."""
+        return sum(len(rows) for rows in self.node_rows.values())
+
+
+def _materialize_atom(
+    query: JoinQuery, db: Database, node: int
+) -> tuple[tuple[str, ...], list[Row]]:
+    """Materialize one atom: distinct-variable schema and consistent rows."""
+    atom = query[node]
+    relation = db[atom.relation]
+    if relation.arity != atom.arity:
+        raise QueryError(
+            f"atom {atom} has arity {atom.arity} but relation {atom.relation!r} "
+            f"has arity {relation.arity}"
+        )
+    distinct_vars: list[str] = []
+    first_position: dict[str, int] = {}
+    for position, variable in enumerate(atom.variables):
+        if variable not in first_position:
+            first_position[variable] = position
+            distinct_vars.append(variable)
+    rows: list[Row] = []
+    if len(distinct_vars) == len(atom.variables):
+        rows = list(relation.rows)
+    else:
+        for row in relation.rows:
+            if all(
+                row[pos] == row[first_position[var]]
+                for pos, var in enumerate(atom.variables)
+            ):
+                rows.append(tuple(row[first_position[var]] for var in distinct_vars))
+    return tuple(distinct_vars), rows
+
+
+def merge_assignments(
+    base: Assignment, extra: Mapping[str, Any]
+) -> Assignment | None:
+    """Union two assignments, returning ``None`` on any conflict."""
+    merged = dict(base)
+    for variable, value in extra.items():
+        if variable in merged and merged[variable] != value:
+            return None
+        merged[variable] = value
+    return merged

@@ -1,0 +1,65 @@
+"""Uniform random sampling of join answers.
+
+Used by the randomized approximation of Section 3.1: sampling answers
+uniformly at random and returning the φ-quantile of the sample.  Sampling is
+implemented on top of the direct-access structure: drawing a uniform index and
+decoding it yields a uniformly random answer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.data.database import Database
+from repro.exceptions import EmptyResultError
+from repro.joins.direct_access import DirectAccess
+from repro.query.join_query import JoinQuery
+
+Assignment = dict[str, Any]
+
+
+class AnswerSampler:
+    """Draw uniform random answers of an acyclic join query.
+
+    Parameters
+    ----------
+    query, db:
+        The acyclic query and database.
+    seed:
+        Optional seed (or a :class:`random.Random` instance) for
+        reproducibility.
+
+    Raises
+    ------
+    EmptyResultError
+        If the query has no answers.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        db: Database,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        self.access = DirectAccess(query, db)
+        if len(self.access) == 0:
+            raise EmptyResultError("cannot sample from a query with no answers")
+        if isinstance(seed, random.Random):
+            self._rng = seed
+        else:
+            self._rng = random.Random(seed)
+
+    @property
+    def total_answers(self) -> int:
+        """Number of answers of the query (``|Q(D)|``)."""
+        return len(self.access)
+
+    def sample(self) -> Assignment:
+        """Return one uniformly random query answer."""
+        index = self._rng.randrange(len(self.access))
+        return self.access[index]
+
+    def sample_many(self, count: int) -> list[Assignment]:
+        """Return ``count`` independent uniform samples (with replacement)."""
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,130 @@
+"""The Yannakakis algorithm: full reduction and answer materialization.
+
+Algorithm 1 falls back to materializing the remaining candidate answers once
+their number drops to at most the database size; the classic Yannakakis
+algorithm does this in time linear in input plus output for acyclic queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.joins.message_passing import MaterializedTree
+from repro.query.join_query import JoinQuery
+
+Assignment = dict[str, Any]
+Row = tuple[Any, ...]
+
+
+def _reduced_row_flags(tree: MaterializedTree) -> dict[int, list[bool]]:
+    """Compute which rows survive the full reducer (bottom-up + top-down
+    semi-join passes).  A surviving row participates in at least one answer."""
+    alive: dict[int, list[bool]] = {
+        node: [True] * len(tree.rows(node)) for node in tree.nodes_bottom_up()
+    }
+    # Bottom-up: a row dies if some child join group has no surviving row.
+    for node in tree.nodes_bottom_up():
+        rows = tree.rows(node)
+        for child in tree.children(node):
+            groups = tree.child_groups(node, child)
+            child_alive = alive[child]
+            live_keys = {
+                key
+                for key, indices in groups.items()
+                if any(child_alive[i] for i in indices)
+            }
+            for index, row in enumerate(rows):
+                if not alive[node][index]:
+                    continue
+                if tree.parent_group_key(node, row, child) not in live_keys:
+                    alive[node][index] = False
+    # Top-down: a child row dies if no surviving parent row selects its group.
+    for node in tree.nodes_top_down():
+        rows = tree.rows(node)
+        for child in tree.children(node):
+            groups = tree.child_groups(node, child)
+            selected_keys = {
+                tree.parent_group_key(node, row, child)
+                for index, row in enumerate(rows)
+                if alive[node][index]
+            }
+            child_alive = alive[child]
+            for key, indices in groups.items():
+                if key not in selected_keys:
+                    for i in indices:
+                        child_alive[i] = False
+    return alive
+
+
+def full_reduce(query: JoinQuery, db: Database) -> Database:
+    """Return a copy of the database with all dangling tuples removed.
+
+    After reduction every remaining tuple participates in at least one query
+    answer (for the materialized per-atom view of the data).
+    """
+    tree = MaterializedTree(query, db)
+    alive = _reduced_row_flags(tree)
+    reduced = Database()
+    for node in tree.nodes_top_down():
+        atom = query[node]
+        rows = [row for index, row in enumerate(tree.rows(node)) if alive[node][index]]
+        name = atom.relation
+        if name in reduced:
+            # Self-join: intersect survivors across atom occurrences.
+            existing = set(reduced[name].rows)
+            rows = [row for row in rows if row in existing]
+            reduced.replace(Relation(name, tree.variables(node), rows))
+        else:
+            reduced.add(Relation(name, tree.variables(node), rows))
+    return reduced
+
+
+def evaluate(query: JoinQuery, db: Database, limit: int | None = None) -> list[Assignment]:
+    """Materialize the query answers (time linear in input + output).
+
+    Parameters
+    ----------
+    limit:
+        Optional cap on the number of produced answers (useful to guard
+        against accidentally materializing a huge result).
+
+    Returns
+    -------
+    list of assignments (dictionaries from variables to values).
+    """
+    tree = MaterializedTree(query, db)
+    alive = _reduced_row_flags(tree)
+
+    def expand(node: int, row: Row) -> list[Assignment]:
+        base = tree.assignment(node, row)
+        results = [base]
+        for child in tree.children(node):
+            groups = tree.child_groups(node, child)
+            key = tree.parent_group_key(node, row, child)
+            child_rows = [
+                i for i in groups.get(key, []) if alive[child][i]
+            ]
+            extended: list[Assignment] = []
+            for partial in results:
+                for child_index in child_rows:
+                    child_assignments = expand(child, tree.rows(child)[child_index])
+                    for extra in child_assignments:
+                        merged = dict(partial)
+                        merged.update(extra)
+                        extended.append(merged)
+            results = extended
+            if not results:
+                break
+        return results
+
+    answers: list[Assignment] = []
+    for index, row in enumerate(tree.rows(tree.root)):
+        if not alive[tree.root][index]:
+            continue
+        for assignment in expand(tree.root, row):
+            answers.append(assignment)
+            if limit is not None and len(answers) >= limit:
+                return answers
+    return answers

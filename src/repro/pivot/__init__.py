@@ -1,0 +1,6 @@
+"""Generic pivot selection for acyclic queries (Section 4)."""
+
+from repro.pivot.pivot_selection import PivotResult, select_pivot
+from repro.pivot.weighted_median import weighted_median
+
+__all__ = ["select_pivot", "PivotResult", "weighted_median"]

@@ -1,0 +1,136 @@
+"""Generic pivot selection (Algorithm 2, Section 4).
+
+Given an acyclic join query, a database, and a subset-monotone ranking
+function, compute a ``c``-pivot of the answer set in linear time: a query
+answer such that at least a ``c`` fraction of the answers is ≤ it and at
+least a ``c`` fraction is ≥ it, where ``c`` depends only on the query shape.
+
+The algorithm is a message-passing median-of-medians: every tuple computes a
+pivot partial answer for its subtree; join groups combine tuple pivots with a
+weighted median (weights = subtree answer counts, Lemma 4.5); a tuple combines
+the group pivots of its children and its own values by union (Lemma 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.database import Database
+from repro.exceptions import EmptyResultError
+from repro.joins.counting import subtree_counts
+from repro.joins.message_passing import MaterializedTree
+from repro.pivot.weighted_median import weighted_median
+from repro.query.join_query import JoinQuery
+from repro.query.join_tree import RootedJoinTree
+from repro.ranking.base import RankingFunction
+
+Assignment = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class PivotResult:
+    """Outcome of pivot selection.
+
+    Attributes
+    ----------
+    assignment:
+        The pivot query answer (a full assignment of the query variables).
+    weight:
+        Its weight under the ranking function.
+    c:
+        The guaranteed pivot quality: at least a ``c`` fraction of answers is
+        on each side of the pivot (Definition 3.1).
+    total_answers:
+        ``|Q(D)|``, computed as a by-product of the count messages.
+    """
+
+    assignment: Assignment
+    weight: Any
+    c: float
+    total_answers: int
+
+
+def select_pivot(
+    query: JoinQuery,
+    db: Database,
+    ranking: RankingFunction,
+    rooted: RootedJoinTree | None = None,
+) -> PivotResult:
+    """Compute a ``c``-pivot of ``Q(D)`` under ``ranking`` (Lemma 4.1).
+
+    Raises
+    ------
+    EmptyResultError
+        If the query has no answers.
+    CyclicQueryError
+        If the query is cyclic.
+    """
+    tree = MaterializedTree(query, db, rooted=rooted)
+    counts = subtree_counts(tree)
+    total = sum(counts[tree.root])
+    if total == 0:
+        raise EmptyResultError("cannot select a pivot: the query has no answers")
+
+    # pivots[node][row_index] is the pivot partial answer rooted at that row,
+    # or None for dangling rows (count 0), which can never be selected.
+    pivots: dict[int, list[Assignment | None]] = {}
+    c_value: dict[int, float] = {}
+
+    for node in tree.nodes_bottom_up():
+        rows = tree.rows(node)
+        node_counts = counts[node]
+        node_pivots: list[Assignment | None] = [
+            tree.assignment(node, row) if node_counts[i] > 0 else None
+            for i, row in enumerate(rows)
+        ]
+        children = tree.children(node)
+        node_c = 1.0
+        for child in children:
+            node_c *= c_value[child] / 2.0
+        for child in children:
+            groups = tree.child_groups(node, child)
+            child_counts = counts[child]
+            child_pivots = pivots[child]
+            # Weighted median per join group, computed once per group.
+            group_pivot: dict[tuple, Assignment] = {}
+            group_count: dict[tuple, int] = {}
+            for key, indices in groups.items():
+                live = [i for i in indices if child_counts[i] > 0]
+                if not live:
+                    continue
+                chosen = weighted_median(
+                    [child_pivots[i] for i in live],
+                    [child_counts[i] for i in live],
+                    key=lambda assignment: ranking.weight_of(assignment),
+                )
+                group_pivot[key] = chosen  # type: ignore[assignment]
+                group_count[key] = sum(child_counts[i] for i in live)
+            for index, row in enumerate(rows):
+                if node_pivots[index] is None:
+                    continue
+                key = tree.parent_group_key(node, row, child)
+                if key not in group_pivot:
+                    node_pivots[index] = None
+                    continue
+                merged = dict(node_pivots[index])
+                merged.update(group_pivot[key])
+                node_pivots[index] = merged
+        pivots[node] = node_pivots
+        c_value[node] = node_c
+
+    # Artificial root: take the weighted median of the root-row pivots.
+    root = tree.root
+    live_indices = [i for i, count in enumerate(counts[root]) if count > 0]
+    final = weighted_median(
+        [pivots[root][i] for i in live_indices],
+        [counts[root][i] for i in live_indices],
+        key=lambda assignment: ranking.weight_of(assignment),
+    )
+    final_c = c_value[root] / 2.0
+    return PivotResult(
+        assignment=dict(final),  # type: ignore[arg-type]
+        weight=ranking.weight_of(final),  # type: ignore[arg-type]
+        c=final_c,
+        total_answers=total,
+    )

@@ -1,0 +1,17 @@
+"""Join queries, hypergraphs, join trees, and query classification."""
+
+from repro.query.atom import Atom
+from repro.query.hypergraph import Hypergraph
+from repro.query.join_query import JoinQuery
+from repro.query.join_tree import JoinTree, RootedJoinTree, build_join_tree
+from repro.query.rewrite import canonicalize
+
+__all__ = [
+    "Atom",
+    "JoinQuery",
+    "Hypergraph",
+    "JoinTree",
+    "RootedJoinTree",
+    "build_join_tree",
+    "canonicalize",
+]

@@ -1,0 +1,53 @@
+"""Query atoms: a relation symbol applied to a tuple of variables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom ``R(x1, ..., xk)`` of a join query.
+
+    Attributes
+    ----------
+    relation:
+        The relation symbol this atom refers to.  Two atoms with the same
+        symbol form a self-join.
+    variables:
+        The variables of the atom, in positional order.  A variable may be
+        repeated (e.g. ``R(x, x)``), which constrains the two columns of the
+        matching tuples to be equal.
+    """
+
+    relation: str
+    variables: tuple[str, ...]
+
+    def __init__(self, relation: str, variables: Sequence[str]) -> None:
+        if not relation:
+            raise QueryError("atom relation symbol must be a non-empty string")
+        if not variables:
+            raise QueryError(f"atom over {relation!r} must have at least one variable")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "variables", tuple(variables))
+
+    @property
+    def variable_set(self) -> frozenset[str]:
+        """The set of (distinct) variables of the atom."""
+        return frozenset(self.variables)
+
+    @property
+    def arity(self) -> int:
+        """Number of variable positions (counting repetitions)."""
+        return len(self.variables)
+
+    @property
+    def has_repeated_variables(self) -> bool:
+        """Whether some variable occurs in more than one position."""
+        return len(self.variable_set) != len(self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"

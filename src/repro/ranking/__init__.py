@@ -1,0 +1,16 @@
+"""Ranking functions over query answers (Section 2.2)."""
+
+from repro.ranking.base import RankingFunction
+from repro.ranking.lex import LexRanking
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+from repro.ranking.tuple_weights import variable_to_atom_assignment
+
+__all__ = [
+    "RankingFunction",
+    "SumRanking",
+    "MinRanking",
+    "MaxRanking",
+    "LexRanking",
+    "variable_to_atom_assignment",
+]

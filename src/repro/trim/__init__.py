@@ -1,0 +1,8 @@
+"""Trimming of ranking inequalities from join queries (Sections 5 and 6)."""
+
+from repro.trim.base import TrimResult, Trimmer
+from repro.trim.lex_trim import LexTrimmer
+from repro.trim.minmax_trim import MinMaxTrimmer
+from repro.trim.sum_adjacent_trim import SumAdjacentTrimmer
+
+__all__ = ["Trimmer", "TrimResult", "MinMaxTrimmer", "LexTrimmer", "SumAdjacentTrimmer"]

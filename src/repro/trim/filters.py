@@ -1,0 +1,91 @@
+"""Shared helpers for trimming constructions built from unary predicates.
+
+Both the MIN/MAX trimming (Algorithm 3) and the LEX trimming (Lemma 5.4) work
+by splitting the space of weighted-variable values into a constant number of
+disjoint *partitions*, each described by a conjunction of unary predicates,
+filtering a copy of the database per partition, and unioning the copies with a
+fresh partition-identifier variable added to every atom.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.query.rewrite import ensure_canonical
+from repro.trim.base import TrimResult, fresh_variable
+
+UnaryPredicate = Callable[[Any], bool]
+PartitionCondition = Mapping[str, UnaryPredicate]
+
+
+def filter_variables(
+    query: JoinQuery, db: Database, conditions: PartitionCondition
+) -> tuple[JoinQuery, Database]:
+    """Filter every atom's relation with unary predicates on its variables.
+
+    ``conditions`` maps variables to predicates on their values; every atom
+    containing a constrained variable has its relation filtered.  The query is
+    canonicalized first so each atom owns its relation.
+    """
+    query, db = ensure_canonical(query, db)
+    new_db = Database()
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        relevant = [
+            (relation.position(variable), predicate)
+            for variable, predicate in conditions.items()
+            if variable in atom.variable_set
+        ]
+        if not relevant:
+            new_db.add(relation)
+            continue
+        rows = [
+            row
+            for row in relation.rows
+            if all(predicate(row[position]) for position, predicate in relevant)
+        ]
+        new_db.add(Relation(relation.name, relation.schema, rows))
+    return query, new_db
+
+
+def union_partitions(
+    query: JoinQuery,
+    db: Database,
+    partitions: Sequence[PartitionCondition],
+    partition_base_name: str = "p",
+) -> TrimResult:
+    """Build the union-of-filtered-copies construction of Algorithm 3.
+
+    For each partition ``i`` the database is copied and filtered with the
+    partition's unary conditions; a fresh partition-identifier variable (with
+    value ``i``) is appended to every relation and every atom, so answers from
+    different partitions cannot mix.  The construction is linear in the
+    database for a constant number of partitions and preserves acyclicity
+    (the identifier can be added to every node of any join tree).
+    """
+    query, db = ensure_canonical(query, db)
+    partition_variable = fresh_variable(query, f"__trim_{partition_base_name}")
+    new_atoms = [
+        Atom(atom.relation, atom.variables + (partition_variable,)) for atom in query.atoms
+    ]
+    new_query = JoinQuery(new_atoms)
+    new_db = Database()
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        new_db.add(Relation(relation.name, relation.schema + (partition_variable,), ()))
+    for index, conditions in enumerate(partitions):
+        _, filtered = filter_variables(query, db, conditions)
+        for atom in query.atoms:
+            target = new_db[atom.relation]
+            for row in filtered[atom.relation].rows:
+                target.add(row + (index,))
+    return TrimResult(
+        query=new_query,
+        database=new_db,
+        helper_variables={partition_variable},
+    )

@@ -1,0 +1,105 @@
+"""Exact trimming for MIN and MAX rankings (Lemma 5.2, Algorithm 3).
+
+For a MAX ranking, ``max < λ`` is enforced by filtering every weighted
+variable's occurrences; ``max > λ`` is expressed as a union of ``r`` disjoint
+partitions, the ``i``-th requiring the first ``i−1`` weighted variables to be
+``≤ λ`` and the ``i``-th to be ``> λ`` (Example 5.1 / Figure 3).  MIN is
+symmetric.  Both trims run in linear time and return an acyclic query, which
+yields Theorem 5.3.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Database
+from repro.exceptions import TrimmingError
+from repro.query.join_query import JoinQuery
+from repro.query.predicates import Comparison, RankPredicate
+from repro.ranking.base import RankingFunction
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.trim.base import TrimResult, Trimmer
+from repro.trim.filters import filter_variables, union_partitions
+
+
+class MinMaxTrimmer(Trimmer):
+    """Trimming construction for :class:`MinRanking` and :class:`MaxRanking`."""
+
+    def __init__(self, ranking: RankingFunction) -> None:
+        if not isinstance(ranking, (MinRanking, MaxRanking)):
+            raise TrimmingError(
+                "MinMaxTrimmer requires a MIN or MAX ranking function, got "
+                f"{ranking.describe()}"
+            )
+        super().__init__(ranking)
+
+    # ------------------------------------------------------------------ #
+    def trim(
+        self, query: JoinQuery, db: Database, predicate: RankPredicate
+    ) -> TrimResult:
+        weighted = [
+            v for v in self.ranking.weighted_variables if v in query.variables
+        ]
+        if not weighted:
+            raise TrimmingError(
+                "none of the weighted variables occur in the query; cannot trim"
+            )
+        is_max = isinstance(self.ranking, MaxRanking)
+        if is_max and predicate.comparison.is_upper_bound:
+            return self._trim_by_filter(query, db, weighted, predicate)
+        if not is_max and not predicate.comparison.is_upper_bound:
+            return self._trim_by_filter(query, db, weighted, predicate)
+        return self._trim_by_partitions(query, db, weighted, predicate)
+
+    # ------------------------------------------------------------------ #
+    def _trim_by_filter(
+        self,
+        query: JoinQuery,
+        db: Database,
+        weighted: list[str],
+        predicate: RankPredicate,
+    ) -> TrimResult:
+        """``max <op λ`` with an upper bound / ``min <op λ`` with a lower bound:
+        every weighted variable must individually satisfy the bound."""
+        threshold = predicate.threshold
+        comparison = predicate.comparison
+
+        def make_condition(variable: str):
+            weight = self.ranking.variable_weight
+            return lambda value: comparison.holds(weight(variable, value), threshold)
+
+        conditions = {variable: make_condition(variable) for variable in weighted}
+        new_query, new_db = filter_variables(query, db, conditions)
+        return TrimResult(new_query, new_db)
+
+    def _trim_by_partitions(
+        self,
+        query: JoinQuery,
+        db: Database,
+        weighted: list[str],
+        predicate: RankPredicate,
+    ) -> TrimResult:
+        """``max <op λ`` with a lower bound / ``min <op λ`` with an upper bound:
+        union of one partition per weighted variable (Algorithm 3)."""
+        threshold = predicate.threshold
+        comparison = predicate.comparison
+        weight = self.ranking.variable_weight
+        # The "witness" condition (variable i violates the bound in the right
+        # direction) and the "already decided" condition (variables before i
+        # do not).
+        if comparison is Comparison.GT:
+            witness = lambda var: (lambda v: weight(var, v) > threshold)  # noqa: E731
+            earlier = lambda var: (lambda v: weight(var, v) <= threshold)  # noqa: E731
+        elif comparison is Comparison.GE:
+            witness = lambda var: (lambda v: weight(var, v) >= threshold)  # noqa: E731
+            earlier = lambda var: (lambda v: weight(var, v) < threshold)  # noqa: E731
+        elif comparison is Comparison.LT:
+            witness = lambda var: (lambda v: weight(var, v) < threshold)  # noqa: E731
+            earlier = lambda var: (lambda v: weight(var, v) >= threshold)  # noqa: E731
+        else:  # Comparison.LE
+            witness = lambda var: (lambda v: weight(var, v) <= threshold)  # noqa: E731
+            earlier = lambda var: (lambda v: weight(var, v) > threshold)  # noqa: E731
+        partitions = []
+        for index, variable in enumerate(weighted):
+            conditions = {prior: earlier(prior) for prior in weighted[:index]}
+            conditions[variable] = witness(variable)
+            partitions.append(conditions)
+        return union_partitions(query, db, partitions, partition_base_name="mm")

@@ -1,0 +1,18 @@
+"""Synthetic workload generators used by examples, tests, and benchmarks."""
+
+from repro.workloads.generators import Workload, random_acyclic_workload, zipf_values
+from repro.workloads.hierarchy import figure1_workload, hierarchy_workload
+from repro.workloads.path import path_workload
+from repro.workloads.social import social_network_workload
+from repro.workloads.star import star_workload
+
+__all__ = [
+    "Workload",
+    "zipf_values",
+    "random_acyclic_workload",
+    "path_workload",
+    "star_workload",
+    "social_network_workload",
+    "hierarchy_workload",
+    "figure1_workload",
+]

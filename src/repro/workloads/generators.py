@@ -1,0 +1,137 @@
+"""Common workload infrastructure: the Workload container and value generators.
+
+The paper proves data-complexity bounds that hold for every database, so the
+benchmark suite uses synthetic databases whose *shape* (size ``n``, join
+fan-out, skew) is controlled precisely.  Every generator returns a
+:class:`Workload`, bundling the query, database, and a natural ranking so that
+examples, tests, and benchmarks share one vocabulary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.base import RankingFunction
+
+
+@dataclass
+class Workload:
+    """A benchmark-ready (query, database, ranking) triple.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in benchmark tables.
+    query, db, ranking:
+        The quantile join query.
+    description:
+        Free-text description of the scenario.
+    parameters:
+        The generator parameters, for reporting.
+    """
+
+    name: str
+    query: JoinQuery
+    db: Database
+    ranking: RankingFunction
+    description: str = ""
+    parameters: dict = field(default_factory=dict)
+
+    @property
+    def database_size(self) -> int:
+        """Total number of tuples (the paper's ``n``)."""
+        return self.db.size
+
+
+def zipf_values(count: int, domain: int, skew: float, rng: random.Random) -> list[int]:
+    """Draw ``count`` values from ``[0, domain)`` with Zipf-like skew.
+
+    ``skew=0`` is uniform; larger values concentrate the mass on small
+    values, which produces heavy join fan-out on a few keys — the regime in
+    which materializing the join is most expensive.
+    """
+    if domain <= 0:
+        raise ValueError("domain must be positive")
+    if skew <= 0:
+        return [rng.randrange(domain) for _ in range(count)]
+    weights = [1.0 / (rank + 1) ** skew for rank in range(domain)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    values = []
+    for _ in range(count):
+        u = rng.random()
+        lo, hi = 0, domain - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] >= u:
+                hi = mid
+            else:
+                lo = mid + 1
+        values.append(lo)
+    return values
+
+
+def random_acyclic_workload(
+    num_atoms: int,
+    tuples_per_relation: int,
+    domain: int,
+    ranking_factory,
+    seed: int | None = None,
+    extra_variables: int = 1,
+) -> Workload:
+    """A random acyclic (tree-shaped) query with random data.
+
+    Atom 0 is the root; every later atom shares exactly one variable with a
+    random earlier atom and introduces ``extra_variables`` fresh variables.
+    The resulting hypergraph is always acyclic.  ``ranking_factory`` receives
+    the list of all variables and returns the ranking function.
+    """
+    rng = random.Random(seed)
+    atoms: list[Atom] = []
+    variable_count = 0
+
+    def fresh() -> str:
+        nonlocal variable_count
+        variable_count += 1
+        return f"x{variable_count}"
+
+    first_vars = tuple(fresh() for _ in range(1 + extra_variables))
+    atoms.append(Atom("R0", first_vars))
+    for index in range(1, num_atoms):
+        parent = atoms[rng.randrange(len(atoms))]
+        shared = rng.choice(parent.variables)
+        own = tuple(fresh() for _ in range(extra_variables))
+        atoms.append(Atom(f"R{index}", (shared,) + own))
+    relations = []
+    for atom in atoms:
+        rows = [
+            tuple(rng.randrange(domain) for _ in atom.variables)
+            for _ in range(tuples_per_relation)
+        ]
+        relations.append(Relation(atom.relation, atom.variables, rows))
+    query = JoinQuery(atoms)
+    db = Database(relations)
+    all_variables = sorted(query.variables)
+    ranking = ranking_factory(all_variables)
+    return Workload(
+        name=f"random-acyclic-{num_atoms}",
+        query=query,
+        db=db,
+        ranking=ranking,
+        description="random tree-shaped acyclic query with uniform data",
+        parameters={
+            "num_atoms": num_atoms,
+            "tuples_per_relation": tuples_per_relation,
+            "domain": domain,
+            "seed": seed,
+        },
+    )

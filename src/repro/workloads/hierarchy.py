@@ -1,0 +1,104 @@
+"""Tree-shaped ("hierarchy") workloads, including the paper's Figure 1 example.
+
+The Figure 1 query ``R(x1,x2), S(x1,x3), T(x2,x4), U(x4,x5)`` has a join tree
+of depth 2 with a branching node, exercising both multi-child message passing
+and non-trivial pivot accuracy accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.sum import SumRanking
+from repro.workloads.generators import Workload
+
+
+def figure1_query() -> JoinQuery:
+    """``R(x1,x2), S(x1,x3), T(x2,x4), U(x4,x5)`` (Figure 1)."""
+    return JoinQuery(
+        [
+            Atom("R", ("x1", "x2")),
+            Atom("S", ("x1", "x3")),
+            Atom("T", ("x2", "x4")),
+            Atom("U", ("x4", "x5")),
+        ]
+    )
+
+
+def figure1_workload() -> Workload:
+    """The exact database of Figure 1 (13 answers), ranked by full SUM."""
+    db = Database(
+        [
+            Relation("R", ("x1", "x2"), [(1, 1), (2, 2)]),
+            Relation("S", ("x1", "x3"), [(1, 3), (1, 4), (1, 5), (2, 3), (2, 4)]),
+            Relation("T", ("x2", "x4"), [(1, 6), (1, 7), (2, 6)]),
+            Relation("U", ("x4", "x5"), [(6, 8), (6, 9), (7, 9)]),
+        ]
+    )
+    return Workload(
+        name="figure1",
+        query=figure1_query(),
+        db=db,
+        ranking=SumRanking(["x1", "x2", "x3", "x4", "x5"]),
+        description="the running example database of Figure 1 (13 answers)",
+        parameters={},
+    )
+
+
+def hierarchy_workload(
+    tuples_per_relation: int,
+    join_domain: int,
+    value_domain: int = 1000,
+    seed: int | None = None,
+) -> Workload:
+    """A larger random instance of the Figure 1 query shape.
+
+    ``x1``, ``x2`` and ``x4`` (the join variables) come from ``join_domain``;
+    ``x3`` and ``x5`` (the leaf payload variables) from ``value_domain``.
+    The attached ranking is the tractable partial SUM over ``{x3, x1}``.
+    """
+    rng = random.Random(seed)
+
+    def join_value() -> int:
+        return rng.randrange(join_domain)
+
+    def payload() -> int:
+        return rng.randrange(value_domain)
+
+    db = Database(
+        [
+            Relation(
+                "R", ("x1", "x2"),
+                [(join_value(), join_value()) for _ in range(tuples_per_relation)],
+            ),
+            Relation(
+                "S", ("x1", "x3"),
+                [(join_value(), payload()) for _ in range(tuples_per_relation)],
+            ),
+            Relation(
+                "T", ("x2", "x4"),
+                [(join_value(), join_value()) for _ in range(tuples_per_relation)],
+            ),
+            Relation(
+                "U", ("x4", "x5"),
+                [(join_value(), payload()) for _ in range(tuples_per_relation)],
+            ),
+        ]
+    )
+    return Workload(
+        name="hierarchy",
+        query=figure1_query(),
+        db=db,
+        ranking=SumRanking(["x1", "x3"]),
+        description="random instance of the Figure 1 query shape",
+        parameters={
+            "tuples_per_relation": tuples_per_relation,
+            "join_domain": join_domain,
+            "value_domain": value_domain,
+            "seed": seed,
+        },
+    )

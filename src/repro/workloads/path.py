@@ -1,0 +1,91 @@
+"""Path (chain) query workloads: ``R1(x1,x2), R2(x2,x3), ..., Rk(xk,xk+1)``.
+
+Path queries are the paper's canonical examples: the 3-path is tractable for
+partial SUM over ``{x1,x2,x3}`` but conditionally intractable for full SUM
+(Section 5.3), and every path is tractable for MIN/MAX/LEX (Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.base import RankingFunction
+from repro.ranking.sum import SumRanking
+from repro.workloads.generators import Workload, zipf_values
+
+
+def path_query(num_atoms: int) -> JoinQuery:
+    """The ``num_atoms``-atom path query over variables ``x1..x{num_atoms+1}``."""
+    atoms = [
+        Atom(f"R{i + 1}", (f"x{i + 1}", f"x{i + 2}")) for i in range(num_atoms)
+    ]
+    return JoinQuery(atoms)
+
+
+def path_workload(
+    num_atoms: int,
+    tuples_per_relation: int,
+    join_domain: int,
+    value_domain: int = 1000,
+    skew: float = 0.0,
+    ranking: RankingFunction | None = None,
+    weighted_variables: Sequence[str] | None = None,
+    seed: int | None = None,
+) -> Workload:
+    """Generate a path query with controllable join fan-out.
+
+    Join variables (``x2 .. xk``) are drawn from ``[0, join_domain)`` — a
+    smaller domain means heavier fan-out and more answers — while the
+    endpoint variables (``x1`` and ``x{k+1}``) are drawn from
+    ``[0, value_domain)`` so that weights spread out.
+
+    Parameters
+    ----------
+    ranking:
+        Ranking function to attach; defaults to SUM over
+        ``weighted_variables`` (or over all variables when that is ``None``).
+    skew:
+        Zipf skew of the join-variable values.
+    """
+    rng = random.Random(seed)
+    query = path_query(num_atoms)
+    variables = [f"x{i + 1}" for i in range(num_atoms + 1)]
+    relations = []
+    for index in range(num_atoms):
+        left, right = variables[index], variables[index + 1]
+        left_is_join = index > 0
+        right_is_join = index < num_atoms - 1
+        left_values = (
+            zipf_values(tuples_per_relation, join_domain, skew, rng)
+            if left_is_join
+            else [rng.randrange(value_domain) for _ in range(tuples_per_relation)]
+        )
+        right_values = (
+            zipf_values(tuples_per_relation, join_domain, skew, rng)
+            if right_is_join
+            else [rng.randrange(value_domain) for _ in range(tuples_per_relation)]
+        )
+        rows = list(zip(left_values, right_values))
+        relations.append(Relation(f"R{index + 1}", (left, right), rows))
+    if ranking is None:
+        ranking = SumRanking(list(weighted_variables) if weighted_variables else variables)
+    return Workload(
+        name=f"path-{num_atoms}",
+        query=query,
+        db=Database(relations),
+        ranking=ranking,
+        description=f"{num_atoms}-atom path query",
+        parameters={
+            "num_atoms": num_atoms,
+            "tuples_per_relation": tuples_per_relation,
+            "join_domain": join_domain,
+            "value_domain": value_domain,
+            "skew": skew,
+            "seed": seed,
+        },
+    )

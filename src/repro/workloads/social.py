@@ -1,0 +1,95 @@
+"""The social-network workload from the paper's introduction.
+
+Three relations describe involvement of users in events:
+
+* ``Admin(u1, e)`` — the user administering the event,
+* ``Share(u2, e, l2)`` — a user sharing the event announcement, with likes,
+* ``Attend(u3, e, l3)`` — a user attending, with likes.
+
+The introduction's example query joins the three relations on the event and
+asks for the 0.1-quantile ordered by ``l2 + l3`` — a *partial* SUM whose two
+weighted variables sit on two join-tree nodes that can be made adjacent, so
+the query is tractable (Theorem 5.6) even though it has three atoms.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.sum import SumRanking
+from repro.workloads.generators import Workload, zipf_values
+
+
+def social_network_query() -> JoinQuery:
+    """``Admin(u1, e), Share(u2, e, l2), Attend(u3, e, l3)``."""
+    return JoinQuery(
+        [
+            Atom("Admin", ("u1", "e")),
+            Atom("Share", ("u2", "e", "l2")),
+            Atom("Attend", ("u3", "e", "l3")),
+        ]
+    )
+
+
+def social_network_workload(
+    num_admins: int,
+    num_shares: int,
+    num_attends: int,
+    num_events: int,
+    num_users: int = 10_000,
+    max_likes: int = 500,
+    skew: float = 0.8,
+    seed: int | None = None,
+) -> Workload:
+    """Generate the introduction's social-network scenario.
+
+    Event popularity is skewed (a few events gather most shares/attendances),
+    which is what makes the join result much larger than the input.
+    The attached ranking is ``SUM(l2, l3)``.
+    """
+    rng = random.Random(seed)
+    admin_rows = [
+        (rng.randrange(num_users), event)
+        for event in rng.sample(range(num_events), k=min(num_admins, num_events))
+    ]
+    while len(admin_rows) < num_admins:
+        admin_rows.append((rng.randrange(num_users), rng.randrange(num_events)))
+    share_events = zipf_values(num_shares, num_events, skew, rng)
+    share_rows = [
+        (rng.randrange(num_users), event, rng.randrange(max_likes))
+        for event in share_events
+    ]
+    attend_events = zipf_values(num_attends, num_events, skew, rng)
+    attend_rows = [
+        (rng.randrange(num_users), event, rng.randrange(max_likes))
+        for event in attend_events
+    ]
+    db = Database(
+        [
+            Relation("Admin", ("u1", "e"), admin_rows),
+            Relation("Share", ("u2", "e", "l2"), share_rows),
+            Relation("Attend", ("u3", "e", "l3"), attend_rows),
+        ]
+    )
+    return Workload(
+        name="social-network",
+        query=social_network_query(),
+        db=db,
+        ranking=SumRanking(["l2", "l3"]),
+        description="introduction example: user triples involved in events, "
+        "ranked by the total likes of the share and the attendance",
+        parameters={
+            "num_admins": num_admins,
+            "num_shares": num_shares,
+            "num_attends": num_attends,
+            "num_events": num_events,
+            "num_users": num_users,
+            "max_likes": max_likes,
+            "skew": skew,
+            "seed": seed,
+        },
+    )

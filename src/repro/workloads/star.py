@@ -1,0 +1,70 @@
+"""Star query workloads: ``R1(x0,x1), R2(x0,x2), ..., Rk(x0,xk)``.
+
+Star queries stress nodes with many children in the join tree — the case the
+binary-join-tree transformation of Section 6 addresses — and have answer
+counts that grow as the product of the per-key fan-outs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.base import RankingFunction
+from repro.ranking.sum import SumRanking
+from repro.workloads.generators import Workload, zipf_values
+
+
+def star_query(num_arms: int) -> JoinQuery:
+    """The star query with ``num_arms`` atoms sharing the hub variable ``x0``."""
+    atoms = [Atom(f"R{i + 1}", ("x0", f"x{i + 1}")) for i in range(num_arms)]
+    return JoinQuery(atoms)
+
+
+def star_workload(
+    num_arms: int,
+    tuples_per_relation: int,
+    hub_domain: int,
+    value_domain: int = 1000,
+    skew: float = 0.0,
+    ranking: RankingFunction | None = None,
+    weighted_variables: Sequence[str] | None = None,
+    seed: int | None = None,
+) -> Workload:
+    """Generate a star query with a shared hub variable.
+
+    ``hub_domain`` controls the fan-out: fewer hub values mean more answers.
+    """
+    rng = random.Random(seed)
+    query = star_query(num_arms)
+    relations = []
+    for index in range(num_arms):
+        hubs = zipf_values(tuples_per_relation, hub_domain, skew, rng)
+        values = [rng.randrange(value_domain) for _ in range(tuples_per_relation)]
+        relations.append(
+            Relation(f"R{index + 1}", ("x0", f"x{index + 1}"), list(zip(hubs, values)))
+        )
+    if ranking is None:
+        variables = list(weighted_variables) if weighted_variables else [
+            f"x{i + 1}" for i in range(num_arms)
+        ]
+        ranking = SumRanking(variables)
+    return Workload(
+        name=f"star-{num_arms}",
+        query=query,
+        db=Database(relations),
+        ranking=ranking,
+        description=f"star query with {num_arms} arms",
+        parameters={
+            "num_arms": num_arms,
+            "tuples_per_relation": tuples_per_relation,
+            "hub_domain": hub_domain,
+            "value_domain": value_domain,
+            "skew": skew,
+            "seed": seed,
+        },
+    )

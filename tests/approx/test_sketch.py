@@ -1,0 +1,129 @@
+"""ε-sketch tests: compression and the Lemma 6.3 guarantee."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx.sketch import (
+    Bucket,
+    count_above,
+    count_below,
+    epsilon_sketch,
+    sketch_count_above,
+    sketch_count_below,
+)
+
+
+class TestBasics:
+    def test_zero_epsilon_is_exact(self):
+        items = [(3.0, 2), (1.0, 1), (2.0, 4)]
+        buckets = epsilon_sketch(items, 0.0)
+        assert len(buckets) == 3
+        for threshold in (0.5, 1.5, 2.5, 3.5):
+            assert sketch_count_below(buckets, threshold) == count_below(items, threshold)
+
+    def test_zero_multiplicity_items_ignored(self):
+        buckets = epsilon_sketch([(1.0, 0), (2.0, 3)], 0.5)
+        assert len(buckets) == 1
+        assert buckets[0].multiplicity == 3
+
+    def test_empty_input(self):
+        assert epsilon_sketch([], 0.5) == []
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            epsilon_sketch([(1.0, 1)], 1.0)
+        with pytest.raises(ValueError):
+            epsilon_sketch([(1.0, 1)], -0.1)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            epsilon_sketch([(1.0, 1)], 0.5, direction="sideways")
+
+    def test_buckets_partition_the_items(self):
+        items = [(float(i % 7), 1 + i % 3) for i in range(40)]
+        buckets = epsilon_sketch(items, 0.3)
+        members = [m for bucket in buckets for m in bucket.members]
+        assert sorted(members) == list(range(40))
+        assert sum(b.multiplicity for b in buckets) == sum(m for _, m in items)
+
+    def test_upper_representative_is_bucket_max(self):
+        items = [(float(i), 1) for i in range(20)]
+        for bucket in epsilon_sketch(items, 0.5, direction="upper"):
+            values = [items[m][0] for m in bucket.members]
+            assert bucket.representative == max(values)
+
+    def test_lower_representative_is_bucket_min(self):
+        items = [(float(i), 1) for i in range(20)]
+        for bucket in epsilon_sketch(items, 0.5, direction="lower"):
+            values = [items[m][0] for m in bucket.members]
+            assert bucket.representative == min(values)
+
+    def test_bucket_is_frozen_dataclass(self):
+        bucket = Bucket(1.0, 2, (0,))
+        with pytest.raises(AttributeError):
+            bucket.multiplicity = 5
+
+
+class TestCompression:
+    def test_logarithmic_bucket_count(self):
+        rng = random.Random(0)
+        items = [(rng.random() * 100, rng.randrange(1, 4)) for _ in range(5000)]
+        total = sum(m for _, m in items)
+        for epsilon in (0.5, 0.25, 0.1):
+            buckets = epsilon_sketch(items, epsilon)
+            bound = 2 + math.log(total) / math.log(1 + epsilon)
+            assert len(buckets) <= bound
+
+    def test_heavy_single_item_gets_own_bucket(self):
+        items = [(1.0, 1), (2.0, 1_000_000), (3.0, 1)]
+        buckets = epsilon_sketch(items, 0.5)
+        # The heavy item cannot be split; counts below 2.0 and below 3.0 stay exact
+        # relative to the guarantee.
+        assert sketch_count_below(buckets, 2.0) <= count_below(items, 2.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(
+            st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+            st.integers(min_value=1, max_value=20),
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    epsilon=st.sampled_from([0.05, 0.1, 0.3, 0.5, 0.9]),
+    threshold=st.floats(min_value=-1100, max_value=1100, allow_nan=False),
+)
+def test_guarantee_upper_direction(values, epsilon, threshold):
+    """(1 - ε)·↓λ(L) ≤ ↓λ(S_ε(L)) ≤ ↓λ(L) for every λ (Lemma 6.3)."""
+    buckets = epsilon_sketch(values, epsilon, direction="upper")
+    exact = count_below(values, threshold)
+    approx = sketch_count_below(buckets, threshold)
+    assert approx <= exact
+    assert approx >= (1 - epsilon) * exact - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(
+            st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+            st.integers(min_value=1, max_value=20),
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    epsilon=st.sampled_from([0.05, 0.1, 0.3, 0.5]),
+    threshold=st.floats(min_value=-1100, max_value=1100, allow_nan=False),
+)
+def test_guarantee_lower_direction(values, epsilon, threshold):
+    """The symmetric guarantee for counts above λ (used by > trims)."""
+    buckets = epsilon_sketch(values, epsilon, direction="lower")
+    exact = count_above(values, threshold)
+    approx = sketch_count_above(buckets, threshold)
+    assert approx <= exact
+    assert approx >= (1 - epsilon) * exact - 1e-9

@@ -1,0 +1,131 @@
+"""Shared fixtures and correctness oracles for the test suite."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+
+
+# ---------------------------------------------------------------------- #
+# Canonical example databases from the paper
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def figure1_db() -> Database:
+    """The example database of Figure 1 (13 join answers)."""
+    return Database(
+        [
+            Relation("R", ("x1", "x2"), [(1, 1), (2, 2)]),
+            Relation("S", ("x1", "x3"), [(1, 3), (1, 4), (1, 5), (2, 3), (2, 4)]),
+            Relation("T", ("x2", "x4"), [(1, 6), (1, 7), (2, 6)]),
+            Relation("U", ("x4", "x5"), [(6, 8), (6, 9), (7, 9)]),
+        ]
+    )
+
+
+@pytest.fixture
+def figure1_query() -> JoinQuery:
+    """``R(x1,x2), S(x1,x3), T(x2,x4), U(x4,x5)`` (Figure 1)."""
+    return JoinQuery(
+        [
+            Atom("R", ("x1", "x2")),
+            Atom("S", ("x1", "x3")),
+            Atom("T", ("x2", "x4")),
+            Atom("U", ("x4", "x5")),
+        ]
+    )
+
+
+@pytest.fixture
+def binary_join() -> tuple[JoinQuery, Database]:
+    """A small binary join ``R1(x1,x2), R2(x2,x3)`` with heavy fan-out."""
+    rng = random.Random(3)
+    r1 = [(rng.randrange(30), rng.randrange(4)) for _ in range(40)]
+    r2 = [(rng.randrange(4), rng.randrange(30)) for _ in range(40)]
+    query = JoinQuery([Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))])
+    db = Database(
+        [Relation("R1", ("x1", "x2"), r1), Relation("R2", ("x2", "x3"), r2)]
+    )
+    return query, db
+
+
+@pytest.fixture
+def three_path() -> tuple[JoinQuery, Database]:
+    """A 3-atom path query with moderate fan-out (a few thousand answers)."""
+    rng = random.Random(5)
+    query = JoinQuery(
+        [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3")), Atom("R3", ("x3", "x4"))]
+    )
+    db = Database(
+        [
+            Relation(
+                "R1", ("x1", "x2"),
+                [(rng.randrange(40), rng.randrange(6)) for _ in range(50)],
+            ),
+            Relation(
+                "R2", ("x2", "x3"),
+                [(rng.randrange(6), rng.randrange(6)) for _ in range(50)],
+            ),
+            Relation(
+                "R3", ("x3", "x4"),
+                [(rng.randrange(6), rng.randrange(40)) for _ in range(50)],
+            ),
+        ]
+    )
+    return query, db
+
+
+# ---------------------------------------------------------------------- #
+# Oracles
+# ---------------------------------------------------------------------- #
+def brute_force_weights(query: JoinQuery, db: Database, ranking) -> list:
+    """All answer weights, sorted ascending (nested-loop enumeration)."""
+    answers = query.answers_brute_force(db)
+    weights = [ranking.weight_of(answer) for answer in answers]
+    weights.sort()
+    return weights
+
+
+def quantile_target(phi: float, total: int) -> int:
+    """The 0-based target index the library uses (``⌊φ·N⌋`` clamped)."""
+    return min(total - 1, max(0, int(math.floor(phi * total))))
+
+
+def assert_valid_quantile(query, db, ranking, result, phi) -> None:
+    """Check that ``result`` is an exact φ-quantile of ``Q(D)`` under ``ranking``.
+
+    Validity: the answer must be a genuine query answer, and the target index
+    must fall within the tie range of its weight in the sorted weight list.
+    """
+    assert query.satisfies(result.assignment, db), (
+        f"returned assignment {result.assignment} is not a query answer"
+    )
+    weights = brute_force_weights(query, db, ranking)
+    total = len(weights)
+    assert result.total_answers == total
+    target = quantile_target(phi, total)
+    below = sum(1 for w in weights if w < result.weight)
+    at_most = sum(1 for w in weights if w <= result.weight)
+    assert below <= target <= at_most - 1, (
+        f"weight {result.weight} occupies ranks [{below}, {at_most - 1}] "
+        f"but the target index is {target} (phi={phi}, N={total})"
+    )
+
+
+def rank_error(query, db, ranking, result, phi) -> float:
+    """Observed relative rank error of a (possibly approximate) result."""
+    weights = brute_force_weights(query, db, ranking)
+    total = len(weights)
+    target = quantile_target(phi, total)
+    below = sum(1 for w in weights if w < result.weight)
+    at_most = sum(1 for w in weights if w <= result.weight)
+    if below <= target <= at_most - 1:
+        return 0.0
+    distance = below - target if target < below else target - (at_most - 1)
+    return distance / total

@@ -1,0 +1,122 @@
+"""Tests for the pivoting driver (Algorithm 1) and its bookkeeping."""
+
+import pytest
+
+from repro.core.quantile import pivoting_quantile, target_index_for
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.exceptions import EmptyResultError
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.minmax import MaxRanking
+from repro.ranking.sum import SumRanking
+from repro.trim.minmax_trim import MinMaxTrimmer
+from repro.trim.sum_adjacent_trim import SumAdjacentTrimmer
+
+from tests.conftest import assert_valid_quantile
+
+
+class TestTargetIndex:
+    def test_floor_semantics(self):
+        assert target_index_for(0.5, 10) == 5
+        assert target_index_for(0.5, 11) == 5
+        assert target_index_for(0.0, 10) == 0
+
+    def test_clamping_at_one(self):
+        assert target_index_for(1.0, 10) == 9
+
+    def test_invalid_phi(self):
+        with pytest.raises(ValueError):
+            target_index_for(1.5, 10)
+        with pytest.raises(ValueError):
+            target_index_for(-0.1, 10)
+
+    def test_empty(self):
+        with pytest.raises(EmptyResultError):
+            target_index_for(0.5, 0)
+
+
+class TestDriver:
+    def test_phi_and_index_are_mutually_exclusive(self, binary_join):
+        query, db = binary_join
+        ranking = SumRanking(["x1", "x3"])
+        trimmer = SumAdjacentTrimmer(ranking)
+        with pytest.raises(ValueError):
+            pivoting_quantile(query, db, ranking, trimmer)
+        with pytest.raises(ValueError):
+            pivoting_quantile(query, db, ranking, trimmer, phi=0.5, index=3)
+
+    def test_index_out_of_range(self, binary_join):
+        query, db = binary_join
+        ranking = SumRanking(["x1", "x3"])
+        trimmer = SumAdjacentTrimmer(ranking)
+        with pytest.raises(ValueError):
+            pivoting_quantile(query, db, ranking, trimmer, index=10**9)
+
+    def test_empty_result(self):
+        query = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        db = Database(
+            [Relation("R", ("a", "b"), [(1, 2)]), Relation("S", ("a", "b"), [(3, 4)])]
+        )
+        ranking = SumRanking(["x"])
+        with pytest.raises(EmptyResultError):
+            pivoting_quantile(query, db, ranking, SumAdjacentTrimmer(ranking), phi=0.5)
+
+    def test_stats_are_recorded(self, three_path):
+        query, db = three_path
+        ranking = MaxRanking(["x1", "x4"])
+        result = pivoting_quantile(
+            query, db, ranking, MinMaxTrimmer(ranking), phi=0.5, termination_size=1
+        )
+        assert result.iterations == len(result.stats)
+        assert result.iterations >= 1
+        for stat in result.stats:
+            assert stat.chosen in ("lt", "eq", "gt")
+            assert stat.count_lt >= 0 and stat.count_gt >= 0 and stat.count_eq >= 0
+            assert 0 < stat.c <= 0.5
+
+    def test_exact_flag_follows_trimmer(self, three_path):
+        query, db = three_path
+        ranking = MaxRanking(["x1", "x4"])
+        result = pivoting_quantile(query, db, ranking, MinMaxTrimmer(ranking), phi=0.5)
+        assert result.exact
+        assert result.strategy == "exact-pivot"
+
+    def test_assignment_projected_to_original_variables(self, three_path):
+        query, db = three_path
+        ranking = MaxRanking(["x1", "x4"])
+        result = pivoting_quantile(query, db, ranking, MinMaxTrimmer(ranking), phi=0.5)
+        assert set(result.assignment) == set(query.variables)
+
+    def test_termination_size_zero_forces_pivot_loop(self, binary_join):
+        """With termination_size=0 the algorithm must finish via the equal
+        partition instead of materializing."""
+        query, db = binary_join
+        ranking = SumRanking(["x1", "x2", "x3"])
+        result = pivoting_quantile(
+            query, db, ranking, SumAdjacentTrimmer(ranking), phi=0.5, termination_size=0
+        )
+        assert_valid_quantile(query, db, ranking, result, 0.5)
+        assert result.stats[-1].chosen == "eq"
+
+    def test_large_termination_size_materializes_immediately(self, binary_join):
+        query, db = binary_join
+        ranking = SumRanking(["x1", "x2", "x3"])
+        result = pivoting_quantile(
+            query, db, ranking, SumAdjacentTrimmer(ranking), phi=0.5,
+            termination_size=10**9,
+        )
+        assert result.iterations == 0
+        assert_valid_quantile(query, db, ranking, result, 0.5)
+
+    def test_selection_by_index(self, binary_join):
+        query, db = binary_join
+        ranking = SumRanking(["x1", "x2", "x3"])
+        trimmer = SumAdjacentTrimmer(ranking)
+        total = pivoting_quantile(
+            query, db, ranking, trimmer, phi=0.0
+        ).total_answers
+        for index in (0, total // 3, total - 1):
+            result = pivoting_quantile(query, db, ranking, trimmer, index=index)
+            phi_equivalent = index / total
+            assert_valid_quantile(query, db, ranking, result, phi_equivalent)

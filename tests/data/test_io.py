@@ -1,0 +1,88 @@
+"""CSV loading and saving of relations and databases."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.io import (
+    load_database_csv,
+    load_relation_csv,
+    parse_value,
+    save_database_csv,
+    save_relation_csv,
+)
+from repro.data.relation import Relation
+from repro.exceptions import SchemaError
+
+
+class TestParseValue:
+    def test_int(self):
+        assert parse_value("42") == 42
+        assert isinstance(parse_value("42"), int)
+
+    def test_float(self):
+        assert parse_value("3.5") == 3.5
+
+    def test_string(self):
+        assert parse_value("alice") == "alice"
+
+
+class TestRelationRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        relation = Relation("R", ("a", "b"), [(1, 2.5), (3, -4.0)])
+        path = tmp_path / "R.csv"
+        save_relation_csv(relation, path)
+        loaded = load_relation_csv(path)
+        assert loaded.name == "R"
+        assert loaded.schema == ("a", "b")
+        assert loaded.rows == [(1, 2.5), (3, -4.0)]
+
+    def test_name_override(self, tmp_path):
+        path = tmp_path / "whatever.csv"
+        save_relation_csv(Relation("R", ("a",), [(1,)]), path)
+        assert load_relation_csv(path, name="Renamed").name == "Renamed"
+
+    def test_string_values_preserved(self, tmp_path):
+        path = tmp_path / "People.csv"
+        path.write_text("name,age\nalice,31\nbob,29\n")
+        loaded = load_relation_csv(path)
+        assert loaded.rows == [("alice", 31), ("bob", 29)]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_relation_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1,2\n\n3,4\n")
+        assert len(load_relation_csv(path)) == 2
+
+
+class TestDatabaseRoundTrip:
+    def test_save_and_load_directory(self, tmp_path):
+        db = Database(
+            [
+                Relation("R", ("a", "b"), [(1, 2)]),
+                Relation("S", ("b", "c"), [(2, 3), (2, 4)]),
+            ]
+        )
+        save_database_csv(db, tmp_path / "db")
+        loaded = load_database_csv(tmp_path / "db")
+        assert sorted(loaded.relation_names) == ["R", "S"]
+        assert loaded.size == 3
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database_csv(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        with pytest.raises(SchemaError):
+            load_database_csv(tmp_path / "db")

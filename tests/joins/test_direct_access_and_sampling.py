@@ -1,0 +1,108 @@
+"""Direct access (answers by index) and uniform sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.exceptions import EmptyResultError
+from repro.joins.direct_access import DirectAccess
+from repro.joins.sampling import AnswerSampler
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+
+
+def answer_key(assignment):
+    return tuple(sorted(assignment.items()))
+
+
+class TestDirectAccess:
+    def test_enumerates_all_answers_exactly_once(self, figure1_query, figure1_db):
+        access = DirectAccess(figure1_query, figure1_db)
+        assert len(access) == 13
+        produced = {answer_key(access[i]) for i in range(len(access))}
+        expected = {
+            answer_key(a) for a in figure1_query.answers_brute_force(figure1_db)
+        }
+        assert produced == expected
+
+    def test_every_index_is_a_real_answer(self, three_path):
+        query, db = three_path
+        access = DirectAccess(query, db)
+        for index in random.Random(0).sample(range(len(access)), 25):
+            assert query.satisfies(access[index], db)
+
+    def test_negative_index(self, figure1_query, figure1_db):
+        access = DirectAccess(figure1_query, figure1_db)
+        assert answer_key(access[-1]) == answer_key(access[len(access) - 1])
+
+    def test_out_of_range(self, figure1_query, figure1_db):
+        access = DirectAccess(figure1_query, figure1_db)
+        with pytest.raises(IndexError):
+            access[13]
+        with pytest.raises(IndexError):
+            access[-14]
+
+    def test_iteration(self, figure1_query, figure1_db):
+        access = DirectAccess(figure1_query, figure1_db)
+        assert len(list(access)) == 13
+
+    def test_empty_query_result(self):
+        query = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        db = Database(
+            [Relation("R", ("a", "b"), [(1, 2)]), Relation("S", ("a", "b"), [(9, 9)])]
+        )
+        access = DirectAccess(query, db)
+        assert len(access) == 0
+
+    def test_cartesian_product_indexing(self):
+        query = JoinQuery([Atom("A", ("x",)), Atom("B", ("y",))])
+        db = Database(
+            [
+                Relation("A", ("x",), [(i,) for i in range(3)]),
+                Relation("B", ("y",), [(i,) for i in range(4)]),
+            ]
+        )
+        access = DirectAccess(query, db)
+        assert len(access) == 12
+        assert len({answer_key(access[i]) for i in range(12)}) == 12
+
+
+class TestAnswerSampler:
+    def test_samples_are_answers(self, three_path):
+        query, db = three_path
+        sampler = AnswerSampler(query, db, seed=1)
+        for sample in sampler.sample_many(20):
+            assert query.satisfies(sample, db)
+
+    def test_total_answers_exposed(self, figure1_query, figure1_db):
+        sampler = AnswerSampler(figure1_query, figure1_db, seed=0)
+        assert sampler.total_answers == 13
+
+    def test_deterministic_with_seed(self, figure1_query, figure1_db):
+        first = AnswerSampler(figure1_query, figure1_db, seed=7).sample_many(10)
+        second = AnswerSampler(figure1_query, figure1_db, seed=7).sample_many(10)
+        assert first == second
+
+    def test_empty_result_raises(self):
+        query = JoinQuery([Atom("R", ("x",))])
+        db = Database([Relation("R", ("a",), [])])
+        with pytest.raises(EmptyResultError):
+            AnswerSampler(query, db)
+
+    def test_sampling_is_roughly_uniform(self, figure1_query, figure1_db):
+        """Chi-square style sanity check: every answer appears, none dominates."""
+        sampler = AnswerSampler(figure1_query, figure1_db, seed=123)
+        draws = 13 * 120
+        counts = Counter(answer_key(sampler.sample()) for _ in range(draws))
+        assert len(counts) == 13  # every answer was seen
+        expected = draws / 13
+        for count in counts.values():
+            assert 0.5 * expected < count < 1.6 * expected
+
+    def test_accepts_random_instance(self, figure1_query, figure1_db):
+        rng = random.Random(5)
+        sampler = AnswerSampler(figure1_query, figure1_db, seed=rng)
+        assert sampler.sample()

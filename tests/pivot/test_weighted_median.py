@@ -1,0 +1,66 @@
+"""Unit and property tests for weighted median selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pivot.weighted_median import weighted_median
+
+
+def expand(items, multiplicities):
+    expanded = []
+    for item, mult in zip(items, multiplicities):
+        expanded.extend([item] * mult)
+    return sorted(expanded)
+
+
+class TestWeightedMedian:
+    def test_uniform_multiplicities(self):
+        assert weighted_median([5, 1, 3], [1, 1, 1], key=lambda x: x) == 3
+
+    def test_multiplicities_shift_the_median(self):
+        # Expansion: [a, b, c, c, c, c, c] -> position 3 is 'c'.
+        assert weighted_median(["a", "b", "c"], [1, 1, 5], key=lambda s: s) == "c"
+
+    def test_single_element(self):
+        assert weighted_median([42], [3], key=lambda x: x) == 42
+
+    def test_zero_multiplicities_ignored(self):
+        assert weighted_median([1, 100], [3, 0], key=lambda x: x) == 1
+
+    def test_all_zero_multiplicities_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_median([1, 2], [0, 0], key=lambda x: x)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_median([1, 2], [1], key=lambda x: x)
+
+    def test_custom_key(self):
+        items = [{"w": 5}, {"w": 1}, {"w": 3}]
+        assert weighted_median(items, [1, 1, 1], key=lambda d: d["w"]) == {"w": 3}
+
+    def test_even_total_uses_lower_median(self):
+        # Expansion [1, 2, 3, 4]: position (4 - 1) // 2 = 1 -> value 2.
+        assert weighted_median([1, 2, 3, 4], [1, 1, 1, 1], key=lambda x: x) == 2
+
+    def test_ties_return_some_tied_element(self):
+        result = weighted_median([7, 7, 7, 1], [1, 1, 1, 1], key=lambda x: x)
+        assert result == 7
+
+
+@given(
+    values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=30),
+    multiplicities=st.data(),
+)
+def test_matches_naive_expansion(values, multiplicities):
+    mults = [
+        multiplicities.draw(st.integers(min_value=0, max_value=6)) for _ in values
+    ]
+    if sum(mults) == 0:
+        mults[0] = 1
+    result = weighted_median(values, mults, key=lambda x: x)
+    expanded = expand(values, mults)
+    expected = expanded[(len(expanded) - 1) // 2]
+    # The returned element must have the same key as the naive answer
+    # (several input items may carry that key).
+    assert result == expected

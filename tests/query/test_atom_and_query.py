@@ -1,0 +1,126 @@
+"""Unit tests for Atom and JoinQuery."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.exceptions import QueryError, SchemaError
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+
+
+class TestAtom:
+    def test_basic(self):
+        atom = Atom("R", ("x", "y"))
+        assert atom.relation == "R"
+        assert atom.variables == ("x", "y")
+        assert atom.arity == 2
+        assert atom.variable_set == frozenset({"x", "y"})
+
+    def test_repeated_variables(self):
+        atom = Atom("R", ("x", "x"))
+        assert atom.has_repeated_variables
+        assert atom.arity == 2
+        assert atom.variable_set == frozenset({"x"})
+
+    def test_str(self):
+        assert str(Atom("R", ("x", "y"))) == "R(x, y)"
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", ("x",))
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ())
+
+    def test_atoms_are_hashable_and_comparable(self):
+        assert Atom("R", ("x",)) == Atom("R", ("x",))
+        assert len({Atom("R", ("x",)), Atom("R", ("x",))}) == 1
+
+
+class TestJoinQuery:
+    def test_variables_union(self):
+        query = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert query.variables == frozenset({"x", "y", "z"})
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery([])
+
+    def test_self_join_detection(self):
+        query = JoinQuery([Atom("R", ("x", "y")), Atom("R", ("y", "z"))])
+        assert not query.is_self_join_free
+        other = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert other.is_self_join_free
+
+    def test_atoms_with_variable(self):
+        query = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert query.atoms_with_variable("y") == [0, 1]
+        assert query.atoms_with_variable("x") == [0]
+
+    def test_indexing_and_iteration(self):
+        atoms = [Atom("R", ("x",)), Atom("S", ("y",))]
+        query = JoinQuery(atoms)
+        assert query[1] == atoms[1]
+        assert list(query) == atoms
+        assert len(query) == 2
+
+    def test_acyclicity_of_path(self):
+        query = JoinQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "w"))]
+        )
+        assert query.is_acyclic
+
+    def test_triangle_is_cyclic(self):
+        query = JoinQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "x"))]
+        )
+        assert not query.is_acyclic
+
+
+class TestValidationAndEvaluation:
+    def make(self):
+        query = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        db = Database(
+            [
+                Relation("R", ("a", "b"), [(1, 2), (3, 2), (4, 5)]),
+                Relation("S", ("a", "b"), [(2, 7), (2, 8), (5, 9)]),
+            ]
+        )
+        return query, db
+
+    def test_validate_missing_relation(self):
+        query, _ = self.make()
+        with pytest.raises(SchemaError):
+            query.validate_against(Database())
+
+    def test_validate_arity_mismatch(self):
+        query = JoinQuery([Atom("R", ("x", "y", "z"))])
+        db = Database([Relation("R", ("a", "b"), [(1, 2)])])
+        with pytest.raises(SchemaError):
+            query.validate_against(db)
+
+    def test_brute_force_answers(self):
+        query, db = self.make()
+        answers = query.answers_brute_force(db)
+        assert len(answers) == 5  # (1,2)x2 + (3,2)x2 + (4,5)x1
+        assert {"x", "y", "z"} == set(answers[0])
+
+    def test_brute_force_with_self_join(self):
+        query = JoinQuery([Atom("R", ("x", "y")), Atom("R", ("y", "z"))])
+        db = Database([Relation("R", ("a", "b"), [(1, 2), (2, 3), (2, 4)])])
+        answers = query.answers_brute_force(db)
+        assert len(answers) == 2  # (1,2,3) and (1,2,4)
+
+    def test_brute_force_repeated_variable(self):
+        query = JoinQuery([Atom("R", ("x", "x"))])
+        db = Database([Relation("R", ("a", "b"), [(1, 1), (1, 2), (3, 3)])])
+        answers = query.answers_brute_force(db)
+        assert sorted(answer["x"] for answer in answers) == [1, 3]
+
+    def test_satisfies(self):
+        query, db = self.make()
+        assert query.satisfies({"x": 1, "y": 2, "z": 7}, db)
+        assert not query.satisfies({"x": 1, "y": 2, "z": 9}, db)
+        assert not query.satisfies({"x": 1, "y": 2}, db)  # missing variable

@@ -1,0 +1,135 @@
+"""Unit tests for the Theorem 5.6 dichotomy classifier."""
+
+import pytest
+
+from repro.exceptions import CyclicQueryError
+from repro.query.atom import Atom
+from repro.query.classify import (
+    Tractability,
+    classify_always_tractable,
+    classify_sum,
+    find_adjacent_cover,
+)
+from repro.query.join_query import JoinQuery
+
+
+def path(k):
+    return JoinQuery([Atom(f"R{i}", (f"x{i}", f"x{i+1}")) for i in range(k)])
+
+
+def star(k):
+    return JoinQuery([Atom(f"R{i}", ("h", f"x{i}")) for i in range(k)])
+
+
+TRIANGLE = JoinQuery(
+    [Atom("R", ("a", "b")), Atom("S", ("b", "c")), Atom("T", ("c", "a"))]
+)
+PRODUCT3 = JoinQuery([Atom("A", ("x",)), Atom("B", ("y",)), Atom("C", ("z",))])
+SOCIAL = JoinQuery(
+    [
+        Atom("Admin", ("u1", "e")),
+        Atom("Share", ("u2", "e", "l2")),
+        Atom("Attend", ("u3", "e", "l3")),
+    ]
+)
+
+
+class TestFindAdjacentCover:
+    def test_single_atom_cover(self):
+        cover = find_adjacent_cover(path(3), {"x1", "x2"})
+        assert cover is not None
+        _, nodes = cover
+        assert nodes == (1,)
+
+    def test_two_adjacent_atoms(self):
+        cover = find_adjacent_cover(path(3), {"x0", "x1", "x2"})
+        assert cover is not None
+        tree, nodes = cover
+        assert set(nodes) == {0, 1}
+        assert tree.has_edge(0, 1)
+
+    def test_no_cover_for_endpoints_of_long_path(self):
+        assert find_adjacent_cover(path(4), {"x0", "x4"}) is None
+
+    def test_social_network_cover(self):
+        cover = find_adjacent_cover(SOCIAL, {"l2", "l3"})
+        assert cover is not None
+        _, nodes = cover
+        assert set(nodes) == {1, 2}
+
+    def test_cyclic_query_raises(self):
+        with pytest.raises(CyclicQueryError):
+            find_adjacent_cover(TRIANGLE, {"a", "b"})
+
+
+class TestClassifySum:
+    def test_full_sum_two_atoms_tractable(self):
+        result = classify_sum(path(2), {"x0", "x1", "x2"})
+        assert result.is_tractable
+        assert result.adjacent_cover is not None
+
+    def test_full_sum_three_atom_path_intractable(self):
+        result = classify_sum(path(3), {"x0", "x1", "x2", "x3"})
+        assert not result.is_tractable
+
+    def test_partial_sum_three_atom_path_tractable(self):
+        # The motivating case of Section 5.3: U_w = {x0, x1, x2} on a 3-path.
+        result = classify_sum(path(3), {"x0", "x1", "x2"})
+        assert result.is_tractable
+
+    def test_endpoints_of_three_path_intractable(self):
+        # The two endpoints of a 3-atom path span a chordless path of 4
+        # variables: exactly the Hyperclique-hard pattern of Theorem 5.6.
+        result = classify_sum(path(3), {"x0", "x3"})
+        assert result.tractability is Tractability.INTRACTABLE_HYPERCLIQUE
+
+    def test_adjacent_pair_on_three_path_tractable(self):
+        # Two weighted variables one atom apart (chordless path of 3
+        # variables) stay on the tractable side.
+        result = classify_sum(path(3), {"x0", "x2"})
+        assert result.is_tractable
+
+    def test_endpoints_of_four_path_intractable(self):
+        result = classify_sum(path(4), {"x0", "x4"})
+        assert result.tractability is Tractability.INTRACTABLE_HYPERCLIQUE
+
+    def test_three_independent_variables_intractable(self):
+        result = classify_sum(star(3), {"x0", "x1", "x2"})
+        assert result.tractability is Tractability.INTRACTABLE_3SUM
+
+    def test_two_star_leaves_tractable(self):
+        result = classify_sum(star(3), {"x0", "x1"})
+        assert result.is_tractable
+
+    def test_cartesian_product_intractable(self):
+        # The canonical 3SUM reduction target: R1(x), R2(y), R3(z) with x+y+z.
+        result = classify_sum(PRODUCT3, {"x", "y", "z"})
+        assert result.tractability is Tractability.INTRACTABLE_3SUM
+
+    def test_cyclic_intractable(self):
+        result = classify_sum(TRIANGLE, {"a", "b", "c"})
+        assert result.tractability is Tractability.INTRACTABLE_CYCLIC
+
+    def test_social_network_tractable(self):
+        result = classify_sum(SOCIAL, {"l2", "l3"})
+        assert result.is_tractable
+
+    def test_hub_only_tractable(self):
+        result = classify_sum(star(4), {"h"})
+        assert result.is_tractable
+
+    def test_reason_is_informative(self):
+        result = classify_sum(path(3), {"x0", "x1", "x2", "x3"})
+        assert "chordless" in result.reason or "independent" in result.reason
+        result = classify_sum(star(3), {"x0", "x1", "x2"})
+        assert "3SUM" in result.reason or "independent" in result.reason
+
+
+class TestClassifyAlwaysTractable:
+    def test_acyclic(self):
+        result = classify_always_tractable(path(5))
+        assert result.is_tractable
+
+    def test_cyclic(self):
+        result = classify_always_tractable(TRIANGLE)
+        assert result.tractability is Tractability.INTRACTABLE_CYCLIC

@@ -1,0 +1,76 @@
+"""Unit tests for the attribute-to-tuple weight conversion (the μ mapping)."""
+
+import pytest
+
+from repro.exceptions import RankingError
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.sum import SumRanking
+from repro.ranking.minmax import MinRanking
+from repro.ranking.tuple_weights import (
+    owned_variables,
+    row_weight,
+    variable_to_atom_assignment,
+)
+
+
+def query():
+    return JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+
+
+class TestVariableToAtomAssignment:
+    def test_each_variable_gets_one_owner(self):
+        mu = variable_to_atom_assignment(query(), ["x", "y", "z"])
+        assert set(mu) == {"x", "y", "z"}
+        assert mu["x"] == 0
+        assert mu["z"] == 1
+        assert mu["y"] in (0, 1)
+
+    def test_preferred_atoms_win(self):
+        mu = variable_to_atom_assignment(query(), ["y"], preferred_atoms=[1])
+        assert mu["y"] == 1
+        mu = variable_to_atom_assignment(query(), ["y"], preferred_atoms=[0])
+        assert mu["y"] == 0
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(RankingError):
+            variable_to_atom_assignment(query(), ["nope"])
+
+    def test_owned_variables(self):
+        mu = {"x": 0, "y": 0, "z": 1}
+        assert owned_variables(mu, 0) == ["x", "y"]
+        assert owned_variables(mu, 1) == ["z"]
+        assert owned_variables(mu, 2) == []
+
+
+class TestRowWeight:
+    def test_sum_of_owned_variables_only(self):
+        ranking = SumRanking(["x", "y", "z"])
+        weight = row_weight(ranking, ("x", "y"), (3, 4), owned=["x"])
+        assert weight == 3.0
+        weight = row_weight(ranking, ("x", "y"), (3, 4), owned=["x", "y"])
+        assert weight == 7.0
+
+    def test_empty_ownership_gives_identity(self):
+        ranking = SumRanking(["x"])
+        assert row_weight(ranking, ("x", "y"), (3, 4), owned=[]) == 0.0
+
+    def test_min_ranking(self):
+        ranking = MinRanking(["x", "y"])
+        assert row_weight(ranking, ("x", "y"), (3, 4), owned=["x", "y"]) == 3.0
+
+    def test_custom_weight_function(self):
+        ranking = SumRanking(["x"], weights={"x": lambda v: v * 10})
+        assert row_weight(ranking, ("x", "y"), (3, 4), owned=["x"]) == 30.0
+
+    def test_no_double_counting_across_atoms(self):
+        """Splitting ownership across two atoms adds each variable once."""
+        ranking = SumRanking(["x", "y", "z"])
+        mu = variable_to_atom_assignment(query(), ["x", "y", "z"])
+        total = 0.0
+        rows = {0: (1, 2), 1: (2, 3)}  # R(x=1,y=2), S(y=2,z=3)
+        for atom_index, atom in enumerate(query()):
+            total += row_weight(
+                ranking, atom.variables, rows[atom_index], owned_variables(mu, atom_index)
+            )
+        assert total == 6.0  # 1 + 2 + 3, with y counted exactly once

@@ -1,0 +1,111 @@
+"""Command-line interface tests (quantile queries over CSV directories)."""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main, parse_atom
+from repro.data.database import Database
+from repro.data.io import save_database_csv
+from repro.data.relation import Relation
+
+
+@pytest.fixture
+def csv_database(tmp_path):
+    rng = random.Random(1)
+    db = Database(
+        [
+            Relation("R", ("x1", "x2"), [(rng.randrange(40), rng.randrange(5)) for _ in range(40)]),
+            Relation("S", ("x2", "x3"), [(rng.randrange(5), rng.randrange(40)) for _ in range(40)]),
+        ]
+    )
+    directory = tmp_path / "db"
+    save_database_csv(db, directory)
+    return directory
+
+
+class TestParseAtom:
+    def test_basic(self):
+        atom = parse_atom("R(x, y)")
+        assert atom.relation == "R" and atom.variables == ("x", "y")
+
+    def test_whitespace(self):
+        assert parse_atom("  S ( a ,b )").variables == ("a", "b")
+
+    def test_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_atom("not an atom")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_atom("R()")
+
+
+class TestCli:
+    def base_args(self, csv_database):
+        return [
+            "--data", str(csv_database),
+            "--atom", "R(x1, x2)",
+            "--atom", "S(x2, x3)",
+        ]
+
+    def test_median_sum(self, csv_database, capsys):
+        code = main(self.base_args(csv_database) + [
+            "--ranking", "sum", "--weights", "x1,x3", "--phi", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact" in out and "weight" in out
+
+    def test_json_output(self, csv_database, capsys):
+        code = main(self.base_args(csv_database) + [
+            "--ranking", "max", "--weights", "x1,x3", "--phi", "0.25", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "exact-pivot"
+        assert payload["exact"] is True
+        assert set(payload["assignment"]) == {"x1", "x2", "x3"}
+
+    def test_count_only(self, csv_database, capsys):
+        code = main(self.base_args(csv_database) + [
+            "--weights", "x1", "--count-only", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["answers"] > 0
+
+    def test_selection_by_index(self, csv_database, capsys):
+        code = main(self.base_args(csv_database) + [
+            "--ranking", "lex", "--weights", "x3,x1", "--index", "0", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target_index"] == 0
+
+    def test_phi_and_index_both_rejected(self, csv_database):
+        with pytest.raises(SystemExit):
+            main(self.base_args(csv_database) + [
+                "--weights", "x1", "--phi", "0.5", "--index", "3",
+            ])
+
+    def test_neither_phi_nor_index_rejected(self, csv_database):
+        with pytest.raises(SystemExit):
+            main(self.base_args(csv_database) + ["--weights", "x1"])
+
+    def test_library_errors_are_reported(self, csv_database, capsys):
+        code = main(self.base_args(csv_database) + [
+            "--weights", "does_not_exist", "--phi", "0.5",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_data_directory(self, tmp_path, capsys):
+        code = main([
+            "--data", str(tmp_path / "missing"),
+            "--atom", "R(x, y)",
+            "--weights", "x",
+            "--phi", "0.5",
+        ])
+        assert code == 2

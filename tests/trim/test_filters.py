@@ -1,0 +1,94 @@
+"""Shared trimming helpers: unary filtering and the union-of-partitions construction."""
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.trim.base import TrimResult, fresh_variable
+from repro.trim.filters import filter_variables, union_partitions
+
+
+def make():
+    query = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+    db = Database(
+        [
+            Relation("R", ("a", "b"), [(1, 1), (2, 1), (3, 2)]),
+            Relation("S", ("a", "b"), [(1, 5), (2, 6), (2, 7)]),
+        ]
+    )
+    return query, db
+
+
+class TestFilterVariables:
+    def test_filters_every_occurrence(self):
+        query, db = make()
+        new_query, new_db = filter_variables(query, db, {"y": lambda v: v == 1})
+        # y occurs in both atoms; both relations are filtered.
+        assert len(new_db[new_query[0].relation]) == 2
+        assert len(new_db[new_query[1].relation]) == 1
+
+    def test_untouched_relations_kept(self):
+        query, db = make()
+        new_query, new_db = filter_variables(query, db, {"x": lambda v: v > 1})
+        assert len(new_db[new_query[1].relation]) == 3
+
+    def test_preserves_answers_of_unrestricted_query(self):
+        query, db = make()
+        new_query, new_db = filter_variables(query, db, {})
+        assert len(new_query.answers_brute_force(new_db)) == len(
+            query.answers_brute_force(db)
+        )
+
+
+class TestUnionPartitions:
+    def test_identifier_added_everywhere(self):
+        query, db = make()
+        result = union_partitions(
+            query, db, [{"x": lambda v: v <= 1}, {"x": lambda v: v > 1}]
+        )
+        helper = next(iter(result.helper_variables))
+        for atom in result.query:
+            assert atom.variables[-1] == helper
+        for relation in result.database:
+            assert relation.schema[-1] == helper
+
+    def test_partitions_do_not_mix(self):
+        query, db = make()
+        result = union_partitions(
+            query, db, [{"x": lambda v: v <= 1}, {"x": lambda v: v > 1}]
+        )
+        answers = result.query.answers_brute_force(result.database)
+        original = query.answers_brute_force(db)
+        # The two partitions cover x<=1 and x>1: together all answers, once each.
+        assert len(answers) == len(original)
+
+    def test_empty_partition_list(self):
+        query, db = make()
+        result = union_partitions(query, db, [])
+        assert result.query.answers_brute_force(result.database) == []
+
+    def test_overlapping_partitions_duplicate_answers(self):
+        """Partitions are the caller's responsibility: overlapping conditions
+        genuinely duplicate answers (this documents the contract)."""
+        query, db = make()
+        result = union_partitions(
+            query, db, [{"x": lambda v: True}, {"x": lambda v: True}]
+        )
+        assert len(result.query.answers_brute_force(result.database)) == 2 * len(
+            query.answers_brute_force(db)
+        )
+
+
+class TestHelpers:
+    def test_fresh_variable_avoids_collisions(self):
+        query = JoinQuery([Atom("R", ("v", "v_1"))])
+        assert fresh_variable(query, "v") == "v_2"
+        assert fresh_variable(query, "w") == "w"
+
+    def test_trim_result_merge(self):
+        query, db = make()
+        first = TrimResult(query, db, helper_variables={"a"})
+        second = TrimResult(query, db, helper_variables={"b"}, lossy=True)
+        merged = first.merged_with(second)
+        assert merged.helper_variables == {"a", "b"}
+        assert merged.lossy

@@ -1,0 +1,166 @@
+"""Exact trimming for MIN/MAX (Lemma 5.2, Algorithm 3, Example 5.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.exceptions import TrimmingError
+from repro.joins.counting import count_answers
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.query.predicates import Comparison, RankPredicate, WeightInterval
+from repro.query.rewrite import ensure_canonical
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+from repro.trim.minmax_trim import MinMaxTrimmer
+
+
+def trimmed_weights(trim_result, ranking):
+    """Weights of all answers of the trimmed query (brute force)."""
+    answers = trim_result.query.answers_brute_force(trim_result.database)
+    return sorted(ranking.weight_of(a) for a in answers)
+
+
+def original_weights(query, db, ranking, predicate=None, interval=None):
+    answers = query.answers_brute_force(db)
+    weights = [ranking.weight_of(a) for a in answers]
+    if predicate is not None:
+        weights = [w for w in weights if predicate.holds(w)]
+    if interval is not None:
+        weights = [w for w in weights if interval.contains(w)]
+    return sorted(weights)
+
+
+def make_instance(seed=0, rows=25):
+    rng = random.Random(seed)
+    query = JoinQuery(
+        [Atom("R", ("x1", "x2")), Atom("S", ("x2", "x3")), Atom("T", ("x3", "x4"))]
+    )
+    db = Database(
+        [
+            Relation("R", ("a", "b"), [(rng.randrange(20), rng.randrange(4)) for _ in range(rows)]),
+            Relation("S", ("a", "b"), [(rng.randrange(4), rng.randrange(4)) for _ in range(rows)]),
+            Relation("T", ("a", "b"), [(rng.randrange(4), rng.randrange(20)) for _ in range(rows)]),
+        ]
+    )
+    return query, db
+
+
+class TestRejections:
+    def test_requires_minmax_ranking(self):
+        with pytest.raises(TrimmingError):
+            MinMaxTrimmer(SumRanking(["x1"]))
+
+    def test_variables_must_occur(self):
+        query, db = make_instance()
+        trimmer = MinMaxTrimmer(MaxRanking(["zzz"]))
+        with pytest.raises(TrimmingError):
+            trimmer.trim(query, db, RankPredicate(Comparison.LT, 5))
+
+
+class TestPaperExample51:
+    """Example 5.1 / Figure 3: trimming max{x1,x2,x3} around the pivot 10."""
+
+    def setup_method(self):
+        self.query = JoinQuery(
+            [Atom("A", ("x1", "x2")), Atom("B", ("x2", "x3"))]
+        )
+        rng = random.Random(1)
+        self.db = Database(
+            [
+                Relation("A", ("a", "b"), [(rng.randrange(20), rng.randrange(20)) for _ in range(30)]),
+                Relation("B", ("a", "b"), [(rng.randrange(20), rng.randrange(20)) for _ in range(30)]),
+            ]
+        )
+        self.ranking = MaxRanking(["x1", "x2", "x3"])
+        self.trimmer = MinMaxTrimmer(self.ranking)
+
+    def test_less_than_is_pure_filter(self):
+        predicate = RankPredicate(Comparison.LT, 10)
+        result = self.trimmer.trim(self.query, self.db, predicate)
+        # Filtering introduces no helper variables and no extra tuples.
+        assert not result.helper_variables
+        assert result.database.size <= self.db.size
+        assert trimmed_weights(result, self.ranking) == original_weights(
+            self.query, self.db, self.ranking, predicate=predicate
+        )
+
+    def test_greater_than_uses_partitions(self):
+        predicate = RankPredicate(Comparison.GT, 10)
+        result = self.trimmer.trim(self.query, self.db, predicate)
+        # One partition-identifier variable added to every atom.
+        assert len(result.helper_variables) == 1
+        helper = next(iter(result.helper_variables))
+        assert all(helper in atom.variables for atom in result.query)
+        assert trimmed_weights(result, self.ranking) == original_weights(
+            self.query, self.db, self.ranking, predicate=predicate
+        )
+        # The partitions are disjoint: identifiers span at most |U_w| values.
+        identifiers = set()
+        for relation in result.database:
+            identifiers.update(relation.column(helper))
+        assert identifiers <= {0, 1, 2}
+
+    def test_trimmed_query_remains_acyclic(self):
+        result = self.trimmer.trim(self.query, self.db, RankPredicate(Comparison.GT, 10))
+        assert result.query.is_acyclic
+
+    def test_interval_composition(self):
+        interval = WeightInterval(low=5, high=15)
+        result = self.trimmer.trim_interval(self.query, self.db, interval)
+        assert trimmed_weights(result, self.ranking) == original_weights(
+            self.query, self.db, self.ranking, interval=interval
+        )
+
+
+@pytest.mark.parametrize("comparison", list(Comparison))
+@pytest.mark.parametrize("ranking_cls", [MinRanking, MaxRanking])
+def test_all_predicate_shapes_exact(comparison, ranking_cls):
+    """Every (ranking, comparison) combination preserves exactly the
+    satisfying answers (checked by weight multiset equality)."""
+    query, db = make_instance(seed=3)
+    ranking = ranking_cls(["x1", "x3", "x4"])
+    trimmer = MinMaxTrimmer(ranking)
+    threshold = 8
+    predicate = RankPredicate(comparison, threshold)
+    result = trimmer.trim(query, db, predicate)
+    assert trimmed_weights(result, ranking) == original_weights(
+        query, db, ranking, predicate=predicate
+    )
+    assert result.query.is_acyclic
+
+
+def test_count_agrees_with_linear_counting():
+    """The trimmed instance can be counted by the linear-time counter."""
+    query, db = make_instance(seed=4)
+    ranking = MaxRanking(["x1", "x4"])
+    trimmer = MinMaxTrimmer(ranking)
+    predicate = RankPredicate(Comparison.GT, 9)
+    result = trimmer.trim(query, db, predicate)
+    expected = len(original_weights(query, db, ranking, predicate=predicate))
+    canonical = ensure_canonical(result.query, result.database)
+    assert count_answers(*canonical) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    threshold=st.integers(min_value=0, max_value=20),
+    upper=st.booleans(),
+    use_max=st.booleans(),
+)
+def test_trim_property_random(seed, threshold, upper, use_max):
+    """Random instances: trimming preserves exactly the satisfying answers."""
+    query, db = make_instance(seed=seed, rows=12)
+    ranking_cls = MaxRanking if use_max else MinRanking
+    ranking = ranking_cls(["x1", "x2", "x4"])
+    trimmer = MinMaxTrimmer(ranking)
+    comparison = Comparison.LT if upper else Comparison.GT
+    predicate = RankPredicate(comparison, threshold)
+    result = trimmer.trim(query, db, predicate)
+    assert trimmed_weights(result, ranking) == original_weights(
+        query, db, ranking, predicate=predicate
+    )

@@ -1,0 +1,76 @@
+"""Canonical segment decomposition: the exactly-once covering property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trim.segment_tree import ancestor_segments, range_segments, tree_size
+
+
+class TestTreeSize:
+    def test_powers_of_two(self):
+        assert tree_size(1) == 1
+        assert tree_size(2) == 2
+        assert tree_size(3) == 4
+        assert tree_size(8) == 8
+        assert tree_size(9) == 16
+
+    def test_zero_and_negative(self):
+        assert tree_size(0) == 1
+
+
+class TestAncestorSegments:
+    def test_single_position(self):
+        assert ancestor_segments(1, 0) == [1]
+
+    def test_logarithmic_count(self):
+        segments = ancestor_segments(1024, 500)
+        assert len(segments) == 11  # leaf + 10 ancestors
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            ancestor_segments(4, 4)
+        with pytest.raises(ValueError):
+            ancestor_segments(4, -1)
+
+    def test_root_is_common_ancestor(self):
+        for position in range(6):
+            assert ancestor_segments(6, position)[-1] == 1
+
+
+class TestRangeSegments:
+    def test_full_range_is_root_for_power_of_two(self):
+        assert range_segments(8, 0, 8) == [1]
+
+    def test_empty_range(self):
+        assert range_segments(8, 3, 3) == []
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            range_segments(8, -1, 3)
+        with pytest.raises(ValueError):
+            range_segments(8, 5, 3)
+        with pytest.raises(ValueError):
+            range_segments(8, 0, 9)
+
+    def test_logarithmic_segment_count(self):
+        segments = range_segments(1024, 1, 1023)
+        assert len(segments) <= 2 * 10
+
+
+@given(
+    length=st.integers(min_value=1, max_value=64),
+    bounds=st.data(),
+)
+def test_exactly_once_covering(length, bounds):
+    """Every position inside the range is covered by exactly one segment of
+    the decomposition (via its ancestor set); positions outside by none."""
+    lo = bounds.draw(st.integers(min_value=0, max_value=length))
+    hi = bounds.draw(st.integers(min_value=lo, max_value=length))
+    decomposition = set(range_segments(length, lo, hi))
+    for position in range(length):
+        ancestors = set(ancestor_segments(length, position))
+        overlap = ancestors & decomposition
+        if lo <= position < hi:
+            assert len(overlap) == 1
+        else:
+            assert not overlap
