@@ -1,0 +1,57 @@
+"""E12 — prepared-query batching: N-φ batch vs N cold one-shot calls.
+
+Benchmarks ``PreparedQuery.quantiles`` over nine φ values against the
+equivalent loop of cold ``quantile()`` calls (each of which re-plans from
+scratch), on the same 3-path partial-SUM workload the registry experiment
+``E12`` uses.  The prepared batch must win by at least 2x — this is the
+acceptance bar of the prepared-query API.
+"""
+
+import pytest
+
+from repro.core.solver import quantile
+from repro.engine import Engine
+from repro.ranking.sum import SumRanking
+from repro.workloads.path import path_workload
+
+PHIS = [(i + 1) / 10 for i in range(9)]
+
+
+@pytest.fixture(scope="module")
+def e12_workload():
+    n = 400
+    return path_workload(
+        3,
+        n,
+        join_domain=max(2, n // 20),
+        ranking=SumRanking(["x1", "x2", "x3"]),
+        seed=31 + n,
+    )
+
+
+def run_cold(workload):
+    return [
+        quantile(workload.query, workload.db, workload.ranking, phi) for phi in PHIS
+    ]
+
+
+def run_prepared(workload):
+    prepared = Engine(workload.db).prepare(workload.query, workload.ranking)
+    return prepared.quantiles(PHIS)
+
+
+def test_cold_quantile_loop(benchmark, e12_workload):
+    results = benchmark.pedantic(lambda: run_cold(e12_workload), rounds=1, iterations=1)
+
+    assert len(results) == len(PHIS)
+    assert all(result.exact for result in results)
+    benchmark.extra_info["phis"] = len(PHIS)
+
+
+def test_prepared_batch(benchmark, e12_workload):
+    results = benchmark.pedantic(
+        lambda: run_prepared(e12_workload), rounds=1, iterations=1
+    )
+
+    assert [r.weight for r in results] == [r.weight for r in run_cold(e12_workload)]
+    benchmark.extra_info["phis"] = len(PHIS)

@@ -1,19 +1,23 @@
 #!/usr/bin/env python
-"""Quickstart: median of a join without materializing it.
+"""Quickstart: quantiles of a join without materializing it.
 
-Builds a small two-relation database, asks for the median (and a few other
-quantiles) of the join answers under a SUM ranking, and cross-checks the
-result against the brute-force materialize-and-sort baseline.
+Builds a small two-relation database, prepares the quantile join query once
+through the :class:`~repro.engine.Engine`, asks for a whole batch of
+quantiles against the prepared state, and cross-checks every answer against
+the brute-force materialize-and-sort baseline.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
 import random
+import time
 
-from repro import Atom, Database, JoinQuery, Relation, SumRanking, QuantileSolver
+from repro import Database, Engine, Relation
 from repro.baselines import materialize_quantile
+
+PHIS = (0.1, 0.25, 0.5, 0.75, 0.9)
 
 
 def build_database(num_rows: int = 400, seed: int = 1) -> Database:
@@ -37,34 +41,38 @@ def build_database(num_rows: int = 400, seed: int = 1) -> Database:
 
 def main() -> None:
     db = build_database()
-    query = JoinQuery(
-        [
-            Atom("Product", ("price", "category")),
-            Atom("Order", ("category", "quantity")),
-        ]
-    )
-    # Rank joined (product, order) pairs by price + quantity.
-    ranking = SumRanking(["price", "quantity"])
+    engine = Engine(db)
 
-    solver = QuantileSolver(query, db, ranking)
-    plan = solver.plan()
-    print(f"query        : {query}")
+    # Prepare once: canonical rewrite, join tree, semijoin reduction, answer
+    # count, and strategy plan are all computed here and cached.
+    prepared = engine.prepare(
+        "Product(price, category), Order(category, quantity)",
+        "sum(price, quantity)",  # rank joined pairs by price + quantity
+    )
+    plan = prepared.plan()
+    print(f"query        : {prepared.query}")
     print(f"database size: {db.size} tuples")
-    print(f"answers      : {solver.count()} (never materialized by the solver)")
+    print(f"answers      : {prepared.count()} (never materialized by the solver)")
     print(f"strategy     : {plan.strategy}  ({plan.reason})")
     print()
 
-    for phi in (0.1, 0.25, 0.5, 0.75, 0.9):
-        result = solver.quantile(phi)
-        baseline = materialize_quantile(query, db, ranking, phi=phi)
+    # Execute many: a batch of quantiles reuses all the prepared state.
+    start = time.perf_counter()
+    results = prepared.quantiles(PHIS)
+    elapsed = time.perf_counter() - start
+    for phi, result in zip(PHIS, results):
+        baseline = materialize_quantile(
+            prepared.query, db, prepared.ranking, phi=phi
+        )
         match = "ok" if result.weight == baseline.weight else "MISMATCH"
         print(
             f"phi={phi:4.2f}  weight={result.weight:8.1f}  "
             f"iterations={result.iterations}  baseline={baseline.weight:8.1f}  [{match}]"
         )
     print()
-    median = solver.quantile(0.5)
-    print("median answer assignment:", median.assignment)
+    print(f"batch of {len(PHIS)} quantiles in {elapsed * 1000:.1f} ms "
+          f"({prepared.pivot_cache_size} memoized pivot steps)")
+    print("median answer assignment:", prepared.median().assignment)
 
 
 if __name__ == "__main__":

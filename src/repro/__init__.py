@@ -8,21 +8,34 @@ divide-and-conquer pivoting framework with ranking-specific trimmings, and
 provides deterministic and randomized approximation schemes for the
 conditionally intractable SUM cases.
 
+The primary entry point is the prepared-query engine: an :class:`Engine`
+owns a database and hands out :class:`PreparedQuery` objects that pay the
+paper's linear-time preprocessing (canonical rewrite, join tree, semijoin
+reduction, answer count, strategy plan) exactly once, then answer any number
+of quantile/selection calls against the cached state.
+
 Quick start
 -----------
->>> from repro import Atom, Database, JoinQuery, Relation, SumRanking, quantile
+>>> from repro import Database, Engine, Relation
 >>> db = Database([
 ...     Relation("R", ("x1", "x2"), [(i, i % 5) for i in range(20)]),
 ...     Relation("S", ("x2", "x3"), [(i % 5, i) for i in range(20)]),
 ... ])
->>> q = JoinQuery([Atom("R", ("x1", "x2")), Atom("S", ("x2", "x3"))])
->>> result = quantile(q, db, SumRanking(["x1", "x2", "x3"]), phi=0.5)
->>> result.exact
-True
+>>> engine = Engine(db)
+>>> pq = engine.prepare("R(x1, x2), S(x2, x3)", "sum(x1, x2, x3)")
+>>> pq.count()
+80
+>>> [r.exact for r in pq.quantiles([0.25, 0.5, 0.75])]
+[True, True, True]
+
+The one-shot helpers (:func:`quantile`, :func:`selection`) and the
+:class:`QuantileSolver` facade remain available and are thin wrappers over
+the same engine.
 """
 
 from repro.core.result import IterationStats, QuantileResult
-from repro.core.solver import QuantileSolver, SolverPlan, quantile, selection
+from repro.core.solver import QuantileSolver, quantile, selection
+from repro.engine import Engine, PreparedQuery, SolverPlan
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.exceptions import (
@@ -38,6 +51,7 @@ from repro.exceptions import (
 )
 from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
+from repro.query.parser import parse_atom, parse_join_query, parse_ranking
 from repro.ranking.lex import LexRanking
 from repro.ranking.minmax import MaxRanking, MinRanking
 from repro.ranking.sum import SumRanking
@@ -52,11 +66,17 @@ __all__ = [
     # queries
     "Atom",
     "JoinQuery",
+    "parse_atom",
+    "parse_join_query",
+    "parse_ranking",
     # rankings
     "SumRanking",
     "MinRanking",
     "MaxRanking",
     "LexRanking",
+    # engine
+    "Engine",
+    "PreparedQuery",
     # solver
     "QuantileSolver",
     "SolverPlan",

@@ -1,5 +1,15 @@
 """Baselines the paper compares against conceptually: materialize-and-sort."""
 
-from repro.baselines.materialize import answer_weights, materialize_quantile
+from repro.baselines.materialize import (
+    answer_weights,
+    materialize_quantile,
+    select_from_sorted,
+    sorted_answers,
+)
 
-__all__ = ["materialize_quantile", "answer_weights"]
+__all__ = [
+    "materialize_quantile",
+    "answer_weights",
+    "select_from_sorted",
+    "sorted_answers",
+]

@@ -45,6 +45,54 @@ def answer_weights(
     return weights
 
 
+def sorted_answers(
+    query: JoinQuery, db: Database, ranking: RankingFunction
+) -> list[Assignment]:
+    """Materialize all answers, sorted ascending by their ranking weight.
+
+    The prepared-query engine caches this list so that repeated quantile
+    calls under the ``materialize`` strategy pay the join once.
+    """
+    ranking.validate_for(query.variables)
+    answers = _materialize_answers(query, db)
+    answers.sort(key=ranking.weight_of)
+    return answers
+
+
+def select_from_sorted(
+    answers: list[Assignment],
+    ranking: RankingFunction,
+    phi: float | None = None,
+    index: int | None = None,
+) -> QuantileResult:
+    """Pick the requested position from an already weight-sorted answer list.
+
+    Shared by the one-shot baseline below and the prepared-query engine
+    (which caches the sorted list across calls).  Exactly one of ``phi`` and
+    ``index`` must be given.
+    """
+    if (phi is None) == (index is None):
+        raise ValueError("exactly one of phi and index must be provided")
+    if not answers:
+        raise EmptyResultError("the query has no answers, so no quantile exists")
+    total = len(answers)
+    if index is not None:
+        if not 0 <= index < total:
+            raise ValueError(f"index {index} out of range [0, {total})")
+        target = index
+    else:
+        target = target_index_for(phi, total)  # type: ignore[arg-type]
+    chosen = answers[target]
+    return QuantileResult(
+        assignment=dict(chosen),
+        weight=ranking.weight_of(chosen),
+        target_index=target,
+        total_answers=total,
+        strategy="materialize",
+        exact=True,
+    )
+
+
 def materialize_quantile(
     query: JoinQuery,
     db: Database,
@@ -56,26 +104,6 @@ def materialize_quantile(
 
     Exactly one of ``phi`` and ``index`` must be given.
     """
-    if (phi is None) == (index is None):
-        raise ValueError("exactly one of phi and index must be provided")
-    ranking.validate_for(query.variables)
-    answers = _materialize_answers(query, db)
-    if not answers:
-        raise EmptyResultError("the query has no answers, so no quantile exists")
-    total = len(answers)
-    if index is not None:
-        if not 0 <= index < total:
-            raise ValueError(f"index {index} out of range [0, {total})")
-        target = index
-    else:
-        target = target_index_for(phi, total)  # type: ignore[arg-type]
-    answers.sort(key=ranking.weight_of)
-    chosen = answers[target]
-    return QuantileResult(
-        assignment=dict(chosen),
-        weight=ranking.weight_of(chosen),
-        target_index=target,
-        total_answers=total,
-        strategy="materialize",
-        exact=True,
+    return select_from_sorted(
+        sorted_answers(query, db, ranking), ranking, phi=phi, index=index,
     )

@@ -26,6 +26,7 @@ QUICK_OVERRIDES: dict[str, dict] = {
     "E9": {"sizes": (300, 600)},
     "E10": {"fanouts": (2, 10, 20), "n": 400},
     "E11": {"multiset_size": 5000},
+    "E12": {"sizes": (400,), "num_phis": 9},
     "A1": {"n": 100},
     "A2": {"n": 400},
     "A3": {"phis": (0.1, 0.5, 0.9), "n": 300},

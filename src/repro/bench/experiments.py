@@ -502,3 +502,109 @@ def run_e10(
         "the speedup over materialization grows with the answer blow-up factor"
     )
     return result
+
+
+# ---------------------------------------------------------------------- #
+# E12: prepared-query batching (Engine / PreparedQuery amortization)
+# ---------------------------------------------------------------------- #
+def run_e12(
+    sizes: Sequence[int] = (200, 400, 800),
+    num_phis: int = 9,
+    seed: int = 31,
+) -> ExperimentResult:
+    """N-φ batch on one PreparedQuery vs N cold one-shot quantile() calls.
+
+    The paper's preprocessing/answering split predicts that repeated quantile
+    queries over the same (query, ranking, database) should pay the
+    linear-time preprocessing once; the prepared-query engine additionally
+    memoizes the shared prefix of the pivoting search across φ values.
+
+    Two engine timings are reported to keep the comparison honest: the
+    engine's default configuration (whose batched termination policy
+    materializes earlier *because* terminal answer lists are cached and
+    shared), and a parameter-matched run pinned to Algorithm 1's original
+    termination threshold (``termination_factor=1``, same as the cold one-shot
+    API), which isolates the pure prepare-once/cache-sharing amortization.
+    """
+    from repro.core.solver import quantile as one_shot_quantile
+    from repro.engine import Engine
+
+    result = ExperimentResult(
+        experiment="E12",
+        title="Prepared-query batch vs cold one-shot quantile calls",
+        claim="Section 1 / Theorem 3.4: a φ-quantile costs ~O(|D|) after a "
+        "linear-time preprocessing pass, so preparation should be paid once "
+        "across repeated φ values, not once per call",
+        columns=[
+            "n",
+            "answers",
+            "phis",
+            "cold_seconds",
+            "prepared_seconds",
+            "speedup",
+            "matched_seconds",
+            "matched_speedup",
+            "pivot_cache_entries",
+        ],
+    )
+    phis = [(i + 1) / (num_phis + 1) for i in range(num_phis)]
+    for n in sizes:
+        workload = path_workload(
+            3,
+            n,
+            join_domain=max(2, n // 20),
+            ranking=SumRanking(["x1", "x2", "x3"]),
+            seed=seed + n,
+        )
+
+        def run_cold():
+            return [
+                one_shot_quantile(workload.query, workload.db, workload.ranking, phi)
+                for phi in phis
+            ]
+
+        def run_prepared():
+            engine = Engine(workload.db)
+            prepared = engine.prepare(workload.query, workload.ranking)
+            return prepared, prepared.quantiles(phis)
+
+        def run_matched():
+            prepared = Engine(workload.db).prepare(
+                workload.query, workload.ranking, termination_factor=1
+            )
+            return prepared.quantiles(phis)
+
+        cold_results, cold_time = time_call(run_cold)
+        (prepared, batch_results), prepared_time = time_call(run_prepared)
+        matched_results, matched_time = time_call(run_matched)
+        for other in (batch_results, matched_results):
+            if [r.weight for r in cold_results] != [r.weight for r in other]:
+                raise AssertionError("prepared batch disagrees with cold quantile calls")
+        result.rows.append(
+            {
+                "n": workload.database_size,
+                "answers": batch_results[0].total_answers,
+                "phis": num_phis,
+                "cold_seconds": round(cold_time, 4),
+                "prepared_seconds": round(prepared_time, 4),
+                "speedup": round(cold_time / prepared_time, 2)
+                if prepared_time > 0
+                else float("inf"),
+                "matched_seconds": round(matched_time, 4),
+                "matched_speedup": round(cold_time / matched_time, 2)
+                if matched_time > 0
+                else float("inf"),
+                "pivot_cache_entries": prepared.pivot_cache_size,
+            }
+        )
+    speedups = [row["speedup"] for row in result.rows if row["speedup"] is not None]
+    matched = [row["matched_speedup"] for row in result.rows]
+    if speedups:
+        result.notes.append(
+            f"engine batch speedups {speedups} over {num_phis} phi values "
+            f"(acceptance target: >= 2x); {matched} from prepare-once "
+            "amortization and cache sharing alone (termination pinned to "
+            "Algorithm 1's threshold), the rest from the engine's batched "
+            "termination policy, which the shared answer cache enables"
+        )
+    return result

@@ -4,89 +4,136 @@ Usage (installed as ``python -m repro.cli``)::
 
     python -m repro.cli \
         --data ./my_database_dir \
-        --atom "R(x1, x2)" --atom "S(x2, x3)" \
-        --ranking sum --weights x1,x3 \
-        --phi 0.5
+        --query "R(x1, x2), S(x2, x3)" \
+        --ranking "sum(x1, x3)" \
+        --phi 0.25,0.5,0.75
 
 The data directory must contain one CSV file per relation (header row =
 attribute names).  Atoms bind relation columns to query variables by
-position.  The output reports the chosen strategy, the answer weight, and the
-answer assignment.
+position; the query can be given either as one ``--query`` spec or as
+repeated ``--atom`` flags.  The ranking is either a spec such as
+``"sum(x1, x3)"`` or the legacy pair ``--ranking sum --weights x1,x3``.
+
+``--phi`` may be repeated and/or comma-separated; multiple φ values run as
+one batch over a single prepared query (planning and preprocessing are paid
+once), emitting one result record per φ — a JSON list under ``--json``.
+
+The output reports the chosen strategy, the answer weight, and the answer
+assignment.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import re
 import sys
 
-from repro.core.solver import QuantileSolver
+from repro.engine import STRATEGIES, Engine
 from repro.data.io import load_database_csv
 from repro.exceptions import ReproError
 from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
+from repro.query.parser import parse_atom as _parse_atom_spec
+from repro.query.parser import parse_ranking
+from repro.query.parser import RANKING_KINDS, ranking_class
 from repro.ranking.base import RankingFunction
-from repro.ranking.lex import LexRanking
-from repro.ranking.minmax import MaxRanking, MinRanking
-from repro.ranking.sum import SumRanking
-
-_ATOM_PATTERN = re.compile(r"^\s*(\w+)\s*\(([^)]*)\)\s*$")
-
-RANKINGS = {
-    "sum": SumRanking,
-    "min": MinRanking,
-    "max": MaxRanking,
-    "lex": LexRanking,
-}
 
 
 def parse_atom(text: str) -> Atom:
-    """Parse ``"R(x, y)"`` into an :class:`Atom`."""
-    match = _ATOM_PATTERN.match(text)
-    if not match:
-        raise argparse.ArgumentTypeError(
-            f"atom {text!r} is not of the form RelationName(var1, var2, ...)"
-        )
-    relation = match.group(1)
-    variables = [v.strip() for v in match.group(2).split(",") if v.strip()]
-    if not variables:
-        raise argparse.ArgumentTypeError(f"atom {text!r} has no variables")
-    return Atom(relation, tuple(variables))
+    """Parse ``"R(x, y)"`` into an :class:`Atom` (argparse-friendly errors)."""
+    try:
+        return _parse_atom_spec(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+def parse_query_spec(text: str) -> JoinQuery:
+    """Parse a full ``--query`` spec (argparse-friendly errors)."""
+    try:
+        return JoinQuery.parse(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+def parse_phi_list(text: str) -> list[float]:
+    """Parse one ``--phi`` occurrence: a float or a comma-separated list."""
+    phis: list[float] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise argparse.ArgumentTypeError(f"empty phi value in {text!r}")
+        try:
+            phi = float(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"phi value {part!r} is not a number")
+        if not 0.0 <= phi <= 1.0:
+            raise argparse.ArgumentTypeError(f"phi must be in [0, 1], got {part}")
+        phis.append(phi)
+    return phis
 
 
 def build_ranking(kind: str, weighted: list[str]) -> RankingFunction:
-    """Instantiate the requested ranking over the given variables."""
-    return RANKINGS[kind](weighted)
+    """Instantiate the requested ranking over the given variables.
+
+    Instantiates the class directly (not via a spec round-trip) so the legacy
+    ``--ranking kind --weights ...`` path keeps accepting any variable names
+    the relations use.
+    """
+    return ranking_class(kind)(weighted)
+
+
+def resolve_ranking(parser: argparse.ArgumentParser, args: argparse.Namespace) -> RankingFunction:
+    """Build the ranking from ``--ranking`` (+ optional ``--weights``)."""
+    if "(" in args.ranking:
+        if args.weights:
+            parser.error("--weights cannot be combined with a ranking spec like 'sum(x1, x3)'")
+        return parse_ranking(args.ranking)
+    if args.ranking.lower() not in RANKING_KINDS:
+        parser.error(
+            f"unknown ranking {args.ranking!r}; expected one of {sorted(RANKING_KINDS)} "
+            "or a spec like 'sum(x1, x3)'"
+        )
+    if not args.weights:
+        parser.error(f"--ranking {args.ranking} requires --weights (or use a spec form)")
+    weighted = [v.strip() for v in args.weights.split(",") if v.strip()]
+    return build_ranking(args.ranking, weighted)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
-        description="Answer a quantile join query over CSV relations.",
+        description="Answer quantile join queries over CSV relations.",
     )
     parser.add_argument(
         "--data", required=True,
         help="directory containing one CSV file per relation (header = attributes)",
     )
     parser.add_argument(
-        "--atom", action="append", required=True, type=parse_atom, dest="atoms",
+        "--query", type=parse_query_spec, default=None,
+        help='full query spec, e.g. "R(x1, x2), S(x2, x3)" (alternative to --atom)',
+    )
+    parser.add_argument(
+        "--atom", action="append", type=parse_atom, dest="atoms",
         help='query atom, e.g. "R(x1, x2)"; repeat for every atom',
     )
     parser.add_argument(
-        "--ranking", choices=sorted(RANKINGS), default="sum",
-        help="ranking function (default: sum)",
+        "--ranking", default="sum",
+        help="ranking function: sum/min/max/lex with --weights, "
+        'or a spec such as "sum(x1, x3)" (default: sum)',
     )
     parser.add_argument(
-        "--weights", required=True,
+        "--weights", default=None,
         help="comma-separated weighted variables, in priority order for lex",
     )
-    parser.add_argument("--phi", type=float, default=None, help="quantile position in [0, 1]")
+    parser.add_argument(
+        "--phi", action="append", type=parse_phi_list, dest="phis", default=None,
+        help="quantile position(s) in [0, 1]; repeat the flag or separate "
+        "values with commas to run a batch over one prepared query",
+    )
     parser.add_argument("--index", type=int, default=None, help="absolute 0-based answer index")
     parser.add_argument("--epsilon", type=float, default=None, help="allowed position error")
     parser.add_argument(
-        "--strategy", default="auto",
-        choices=["auto", "exact-pivot", "approx-pivot", "sampling", "materialize"],
+        "--strategy", default="auto", choices=list(STRATEGIES),
         help="force a solution strategy (default: auto)",
     )
     parser.add_argument("--seed", type=int, default=None, help="seed for the sampling strategy")
@@ -95,49 +142,77 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _result_record(result, plan, phi: float | None) -> dict:
+    record = {
+        "strategy": result.strategy,
+        "plan_reason": plan.reason,
+        "exact": result.exact,
+        "epsilon": result.epsilon,
+        "total_answers": result.total_answers,
+        "target_index": result.target_index,
+        "weight": result.weight,
+        "assignment": result.assignment,
+        "pivot_iterations": result.iterations,
+    }
+    if phi is not None:
+        record = {"phi": phi, **record}
+    return record
+
+
+def _print_record(record: dict) -> None:
+    for key, value in record.items():
+        print(f"{key:16s}: {value}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not args.count_only and (args.phi is None) == (args.index is None):
+
+    if (args.query is None) == (not args.atoms):
+        parser.error("provide the query via exactly one of --query and --atom")
+    phis: list[float] = [phi for group in (args.phis or []) for phi in group]
+    if not args.count_only and (not phis) == (args.index is None):
+        parser.error("provide exactly one of --phi and --index (or --count-only)")
+    if phis and args.index is not None:
         parser.error("provide exactly one of --phi and --index (or --count-only)")
 
     try:
         db = load_database_csv(args.data)
-        query = JoinQuery(args.atoms)
-        weighted = [v.strip() for v in args.weights.split(",") if v.strip()]
-        ranking = build_ranking(args.ranking, weighted)
-        solver = QuantileSolver(
-            query, db, ranking,
-            epsilon=args.epsilon, strategy=args.strategy, seed=args.seed,
-        )
+        query = args.query if args.query is not None else JoinQuery(args.atoms)
+        engine = Engine(db)
         if args.count_only:
-            payload = {"answers": solver.count(), "database_size": db.size}
+            # Counting needs no ranking; don't force --weights for it.
+            payload: object = {"answers": engine.count(query), "database_size": db.size}
         else:
-            plan = solver.plan()
-            if args.phi is not None:
-                result = solver.quantile(args.phi)
+            ranking = resolve_ranking(parser, args)
+            prepared = engine.prepare(
+                query, ranking,
+                epsilon=args.epsilon, strategy=args.strategy, seed=args.seed,
+                eager=False,
+            )
+            plan = prepared.plan()
+            if phis:
+                results = prepared.quantiles(phis)
+                records = [
+                    _result_record(result, plan, phi)
+                    for phi, result in zip(phis, results)
+                ]
+                payload = records if len(records) > 1 else records[0]
             else:
-                result = solver.selection(args.index)
-            payload = {
-                "strategy": result.strategy,
-                "plan_reason": plan.reason,
-                "exact": result.exact,
-                "epsilon": result.epsilon,
-                "total_answers": result.total_answers,
-                "target_index": result.target_index,
-                "weight": result.weight,
-                "assignment": result.assignment,
-                "pivot_iterations": result.iterations,
-            }
+                payload = _result_record(prepared.selection(args.index), plan, None)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     if args.json:
         print(json.dumps(payload, default=str, indent=2))
+    elif isinstance(payload, list):
+        for position, record in enumerate(payload):
+            if position:
+                print()
+            _print_record(record)
     else:
-        for key, value in payload.items():
-            print(f"{key:16s}: {value}")
+        _print_record(payload)
     return 0
 
 

@@ -1,6 +1,6 @@
 """The quantile join query solver: the paper's primary contribution."""
 
-from repro.core.quantile import pivoting_quantile
+from repro.core.quantile import phi_for_index, pivoting_quantile, target_index_for
 from repro.core.result import IterationStats, QuantileResult
 from repro.core.solver import QuantileSolver, SolverPlan, quantile, selection
 
@@ -8,6 +8,8 @@ __all__ = [
     "QuantileResult",
     "IterationStats",
     "pivoting_quantile",
+    "phi_for_index",
+    "target_index_for",
     "QuantileSolver",
     "SolverPlan",
     "quantile",

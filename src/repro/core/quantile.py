@@ -20,7 +20,8 @@ With an exact trimmer the returned answer is an exact φ-quantile; with an
 from __future__ import annotations
 
 import math
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, MutableMapping
 
 from repro.data.database import Database
 from repro.exceptions import EmptyResultError, SolverError
@@ -49,6 +50,47 @@ def target_index_for(phi: float, total: int) -> int:
     return min(total - 1, max(0, int(math.floor(phi * total))))
 
 
+def phi_for_index(index: int, total: int) -> float:
+    """The φ value whose quantile is the answer at 0-based ``index``.
+
+    Exact inverse of :func:`target_index_for`: for every valid index,
+    ``target_index_for(phi_for_index(i, total), total) == i``.  The midpoint
+    ``(i + ½)/total`` keeps ``φ·total`` half a unit away from the integer
+    boundaries, so the ``⌊φ·total⌋`` rounding of the forward direction cannot
+    drift to a neighbouring rank through floating-point error (``i/total``
+    does: e.g. ``⌊(15/22)·22⌋ == 14``).
+    """
+    if total <= 0:
+        raise EmptyResultError("the query has no answers, so no quantile exists")
+    if not 0 <= index < total:
+        raise ValueError(f"index {index} out of range [0, {total})")
+    return (index + 0.5) / total
+
+
+@dataclass
+class PivotStep:
+    """Memoized outcome of one pivoting iteration for a candidate interval.
+
+    The pivoting loop is deterministic given the (canonical) base query,
+    database, ranking, and trimmer: the same candidate interval always yields
+    the same pivot, the same trimmed sub-databases, and the same partition
+    counts.  A :class:`PreparedQuery` therefore shares a ``{interval:
+    PivotStep}`` cache across φ values — repeated quantile queries reuse the
+    expensive early iterations (which scan the full database) and only pay
+    for the suffix of the search path where their target ranks diverge.
+    """
+
+    pivot_assignment: Assignment
+    pivot_weight: Any
+    pivot_c: float
+    lt_query: JoinQuery
+    lt_db: Database
+    count_lt: int
+    gt_query: JoinQuery
+    gt_db: Database
+    count_gt: int
+
+
 def pivoting_quantile(
     query: JoinQuery,
     db: Database,
@@ -60,6 +102,9 @@ def pivoting_quantile(
     termination_size: int | None = None,
     max_iterations: int | None = None,
     strategy_name: str | None = None,
+    total: int | None = None,
+    pivot_cache: MutableMapping[WeightInterval, PivotStep] | None = None,
+    answer_cache: MutableMapping[WeightInterval, list] | None = None,
 ) -> QuantileResult:
     """Run Algorithm 1 and return the requested (approximate) quantile.
 
@@ -79,6 +124,17 @@ def pivoting_quantile(
     max_iterations:
         Safety bound on pivoting iterations (default: derived from the pivot
         quality and the answer count).
+    total:
+        Precomputed ``|Q(D)|`` for the (canonical) query/database pair, so a
+        prepared query does not recount on every call.
+    pivot_cache:
+        Mutable mapping from candidate interval to :class:`PivotStep`, shared
+        across calls with the same (query, db, ranking, trimmer) to amortize
+        pivot selection, trimming, and counting over repeated φ values.
+    answer_cache:
+        Mutable mapping from terminal candidate interval to the sorted list
+        of materialized answers, sharing the final materialize-and-select
+        step across calls that end in the same interval.
     """
     if (phi is None) == (index is None):
         raise ValueError("exactly one of phi and index must be provided")
@@ -86,7 +142,8 @@ def pivoting_quantile(
     original_variables = set(query.variables)
     base_query, base_db = ensure_canonical(query, db)
 
-    total = count_answers(base_query, base_db)
+    if total is None:
+        total = count_answers(base_query, base_db)
     if total == 0:
         raise EmptyResultError("the query has no answers, so no quantile exists")
     if index is not None:
@@ -109,51 +166,71 @@ def pivoting_quantile(
     iteration_cap = max_iterations if max_iterations is not None else 0
 
     while current_count > termination_size:
-        pivot = select_pivot(current_query, current_db, ranking)
+        step = pivot_cache.get(interval) if pivot_cache is not None else None
+        if step is None:
+            pivot = select_pivot(current_query, current_db, ranking)
+            # Trims always restart from the (canonical, possibly semijoin-
+            # reduced) base: re-applying a trimmer to its own output would
+            # compound the copy factors of the segment/partition
+            # constructions (and, for lossy trimmers, the answer loss).
+            lt = trimmer.trim_interval(
+                base_query, base_db, interval.with_high(pivot.weight, strict=True)
+            )
+            gt = trimmer.trim_interval(
+                base_query, base_db, interval.with_low(pivot.weight, strict=True)
+            )
+            step = PivotStep(
+                pivot_assignment=pivot.assignment,
+                pivot_weight=pivot.weight,
+                pivot_c=pivot.c,
+                lt_query=lt.query,
+                lt_db=lt.database,
+                count_lt=count_answers(lt.query, lt.database),
+                gt_query=gt.query,
+                gt_db=gt.database,
+                count_gt=count_answers(gt.query, gt.database),
+            )
+            if pivot_cache is not None:
+                pivot_cache[interval] = step
         if iteration_cap == 0:
             # Derive a generous cap from the guaranteed elimination fraction.
-            c = max(pivot.c, 1e-3)
+            c = max(step.pivot_c, 1e-3)
             iteration_cap = int(math.ceil(math.log(max(total, 2)) / -math.log(1 - c))) + 20
         if len(stats) >= iteration_cap:
             raise SolverError(
                 f"pivoting did not converge within {iteration_cap} iterations; "
                 "this indicates an inconsistent trimmer"
             )
-        pivot_weight = pivot.weight
-        lt_interval = interval.with_high(pivot_weight, strict=True)
-        gt_interval = interval.with_low(pivot_weight, strict=True)
-        lt = trimmer.trim_interval(base_query, base_db, lt_interval)
-        gt = trimmer.trim_interval(base_query, base_db, gt_interval)
-        count_lt = count_answers(lt.query, lt.database)
-        count_gt = count_answers(gt.query, gt.database)
+        pivot_weight = step.pivot_weight
+        count_lt, count_gt = step.count_lt, step.count_gt
         count_eq = max(0, current_count - count_lt - count_gt)
 
         if remaining_index < count_lt:
             chosen = "lt"
-            interval = lt_interval
-            current_query, current_db = lt.query, lt.database
+            interval = interval.with_high(pivot_weight, strict=True)
+            current_query, current_db = step.lt_query, step.lt_db
             current_count = count_lt
         elif remaining_index < count_lt + count_eq:
             chosen = "eq"
         else:
             chosen = "gt"
             remaining_index -= count_lt + count_eq
-            interval = gt_interval
-            current_query, current_db = gt.query, gt.database
+            interval = interval.with_low(pivot_weight, strict=True)
+            current_query, current_db = step.gt_query, step.gt_db
             current_count = count_gt
         stats.append(
             IterationStats(
                 pivot_weight=pivot_weight,
-                c=pivot.c,
+                c=step.pivot_c,
                 count_lt=count_lt,
                 count_eq=count_eq,
                 count_gt=count_gt,
-                candidate_count=current_count if chosen == "eq" else current_count,
+                candidate_count=count_eq if chosen == "eq" else current_count,
                 chosen=chosen,
             )
         )
         if chosen == "eq":
-            assignment = _project(pivot.assignment, original_variables)
+            assignment = _project(step.pivot_assignment, original_variables)
             return QuantileResult(
                 assignment=assignment,
                 weight=pivot_weight,
@@ -169,7 +246,7 @@ def pivoting_quantile(
             # Can happen with lossy trims (all candidates lost) or when the
             # remaining candidates all share the pivot weight; fall back to
             # returning the pivot, whose position error is already bounded.
-            assignment = _project(pivot.assignment, original_variables)
+            assignment = _project(step.pivot_assignment, original_variables)
             return QuantileResult(
                 assignment=assignment,
                 weight=pivot_weight,
@@ -183,10 +260,17 @@ def pivoting_quantile(
             )
 
     # Materialize the remaining candidates and finish with plain selection.
-    answers = evaluate(current_query, current_db)
-    if not answers:
-        raise SolverError("no candidate answers remained to materialize")
-    answers.sort(key=ranking.weight_of)
+    # The sorted candidate list of a terminal interval is shared across calls
+    # through answer_cache (calls whose targets land in the same interval pay
+    # the evaluate-and-sort once).
+    answers = answer_cache.get(interval) if answer_cache is not None else None
+    if answers is None:
+        answers = evaluate(current_query, current_db)
+        if not answers:
+            raise SolverError("no candidate answers remained to materialize")
+        answers.sort(key=ranking.weight_of)
+        if answer_cache is not None:
+            answer_cache[interval] = answers
     position = min(remaining_index, len(answers) - 1)
     chosen_answer = answers[position]
     assignment = _project(chosen_answer, original_variables)

@@ -22,7 +22,8 @@ class IterationStats:
         Sizes of the three partitions (equal-to is inferred, never counted
         directly).
     candidate_count:
-        Number of candidate answers at the start of the iteration.
+        Number of candidate answers in the partition the search continued
+        in (the equal-to partition's size when the pivot was returned).
     chosen:
         Which partition the search continued in (``"lt"``, ``"eq"``, ``"gt"``).
     """

@@ -1,61 +1,46 @@
-"""The quantile solver facade: strategy selection and the public entry points.
+"""The legacy quantile solver facade, now a thin wrapper over the engine.
 
-:class:`QuantileSolver` classifies a (query, ranking) pair — always tractable
-for MIN/MAX/LEX on acyclic queries (Theorem 5.3, Section 5.2), the Theorem 5.6
-dichotomy for SUM — and dispatches to the matching algorithm:
+:class:`QuantileSolver` predates the prepared-query API of
+:mod:`repro.engine` and is kept fully backward compatible: it classifies a
+(query, ranking) pair — always tractable for MIN/MAX/LEX on acyclic queries
+(Theorem 5.3, Section 5.2), the Theorem 5.6 dichotomy for SUM — and
+dispatches to the matching algorithm:
 
 * ``exact-pivot``: Algorithm 1 with an exact trimmer,
 * ``approx-pivot``: Algorithm 1 with the ε-lossy SUM trimmer (Theorem 6.2),
 * ``sampling``: the randomized approximation of Section 3.1,
 * ``materialize``: the direct baseline (always available as a fallback).
+
+Internally every call is routed through a lazily created
+:class:`~repro.engine.PreparedQuery`, so a solver instance that answers
+several queries amortizes planning exactly like the new API.  New code
+should use :class:`repro.engine.Engine` directly::
+
+    engine = Engine(db)
+    prepared = engine.prepare(query, ranking)
+    results = prepared.quantiles([0.1, 0.5, 0.9])
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Iterable
 
-from repro.approx.lossy_sum_trim import LossySumTrimmer
-from repro.approx.randomized import sampling_quantile
-from repro.baselines.materialize import materialize_quantile
-from repro.core.quantile import pivoting_quantile, target_index_for
+# Re-exported for backward compatibility: these used to be defined here.
+from repro.engine import STRATEGIES, Engine, PreparedQuery, SolverPlan
 from repro.core.result import QuantileResult
 from repro.data.database import Database
-from repro.exceptions import IntractableQueryError, RankingError, SolverError
-from repro.joins.counting import count_answers
-from repro.query.classify import SumClassification, classify_always_tractable, classify_sum
+from repro.exceptions import SolverError
+from repro.query.classify import SumClassification
 from repro.query.join_query import JoinQuery
-from repro.query.rewrite import ensure_canonical
 from repro.ranking.base import RankingFunction
-from repro.ranking.lex import LexRanking
-from repro.ranking.minmax import MaxRanking, MinRanking
-from repro.ranking.sum import SumRanking
-from repro.trim.base import Trimmer
-from repro.trim.lex_trim import LexTrimmer
-from repro.trim.minmax_trim import MinMaxTrimmer
-from repro.trim.sum_adjacent_trim import SumAdjacentTrimmer
 
-#: Strategy identifiers accepted by :class:`QuantileSolver`.
-STRATEGIES = ("auto", "exact-pivot", "approx-pivot", "sampling", "materialize")
-
-
-@dataclass(frozen=True)
-class SolverPlan:
-    """The strategy the solver picked and why.
-
-    Attributes
-    ----------
-    strategy:
-        One of ``"exact-pivot"``, ``"approx-pivot"``, ``"sampling"``,
-        ``"materialize"``.
-    classification:
-        The dichotomy classification of the (query, ranking) pair.
-    reason:
-        Human-readable explanation of the choice.
-    """
-
-    strategy: str
-    classification: SumClassification
-    reason: str
+__all__ = [
+    "STRATEGIES",
+    "SolverPlan",
+    "QuantileSolver",
+    "quantile",
+    "selection",
+]
 
 
 class QuantileSolver:
@@ -98,140 +83,75 @@ class QuantileSolver:
         self.epsilon = epsilon
         self.strategy = strategy
         self.seed = seed
-        self._plan: SolverPlan | None = None
+        self._prepared_query: PreparedQuery | None = None
+        self._prepared_params: tuple | None = None
+
+    # ------------------------------------------------------------------ #
+    # The underlying prepared query (created lazily so that planning errors
+    # keep surfacing at plan()/quantile() time, as they always have)
+    # ------------------------------------------------------------------ #
+    @property
+    def prepared(self) -> PreparedQuery:
+        """The lazily created prepared query backing this solver.
+
+        Recreated if the solver's public attributes were mutated since the
+        last call — the legacy facade always honored e.g. setting
+        ``solver.epsilon`` after an :class:`IntractableQueryError`.
+        """
+        params = (
+            self.query,
+            self.db,
+            self.ranking,
+            self.epsilon,
+            self.strategy,
+            self.seed,
+        )
+        if self._prepared_query is None or self._prepared_params != params:
+            # termination_factor=1 keeps the legacy facade on Algorithm 1's
+            # original materialize-at-|D| threshold; the engine's default
+            # trades memory for fewer pivoting rounds.
+            self._prepared_query = PreparedQuery(
+                self.query,
+                self.db,
+                self.ranking,
+                epsilon=self.epsilon,
+                strategy=self.strategy,
+                seed=self.seed,
+                termination_factor=1,
+            )
+            self._prepared_params = params
+        return self._prepared_query
 
     # ------------------------------------------------------------------ #
     # Planning
     # ------------------------------------------------------------------ #
     def classification(self) -> SumClassification:
         """Dichotomy classification of the (query, ranking) pair."""
-        if isinstance(self.ranking, SumRanking):
-            return classify_sum(self.query, frozenset(self.ranking.weighted_variables))
-        return classify_always_tractable(self.query)
+        return self.prepared.classification()
 
     def plan(self) -> SolverPlan:
         """Decide (and cache) which algorithm to run."""
-        if self._plan is not None:
-            return self._plan
-        classification = self.classification()
-        if self.strategy != "auto":
-            self._plan = SolverPlan(
-                self.strategy, classification, f"strategy forced to {self.strategy!r}"
-            )
-            return self._plan
-        if classification.is_tractable:
-            self._plan = SolverPlan(
-                "exact-pivot",
-                classification,
-                f"tractable: {classification.reason}",
-            )
-        elif self.epsilon is not None and isinstance(self.ranking, SumRanking):
-            self._plan = SolverPlan(
-                "approx-pivot",
-                classification,
-                "conditionally intractable for exact evaluation "
-                f"({classification.reason}); using the deterministic "
-                f"epsilon-approximation with epsilon={self.epsilon}",
-            )
-        else:
-            raise IntractableQueryError(
-                "exact quantile evaluation is conditionally intractable: "
-                f"{classification.reason}. Provide epsilon= for an approximate "
-                "answer, or force strategy='materialize' / 'sampling'."
-            )
-        return self._plan
+        return self.prepared.plan()
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def count(self) -> int:
         """Number of answers ``|Q(D)|`` (linear time)."""
-        return count_answers(*ensure_canonical(self.query, self.db))
+        return self.prepared.count()
 
     def quantile(self, phi: float) -> QuantileResult:
         """Return the φ-quantile of the query answers."""
-        return self._solve(phi=phi)
+        return self.prepared.quantile(phi)
+
+    def quantiles(self, phis: Iterable[float]) -> list[QuantileResult]:
+        """Batch φ-quantiles sharing the prepared state (see
+        :meth:`repro.engine.PreparedQuery.quantiles`)."""
+        return self.prepared.quantiles(phis)
 
     def selection(self, index: int) -> QuantileResult:
         """Return the answer at absolute 0-based ``index`` (selection problem)."""
-        return self._solve(index=index)
-
-    def _solve(self, phi: float | None = None, index: int | None = None) -> QuantileResult:
-        plan = self.plan()
-        if plan.strategy == "materialize":
-            return materialize_quantile(self.query, self.db, self.ranking, phi=phi, index=index)
-        if plan.strategy == "sampling":
-            return self._solve_by_sampling(phi=phi, index=index)
-        if plan.strategy == "exact-pivot":
-            trimmer = self._exact_trimmer(plan)
-            return pivoting_quantile(
-                self.query, self.db, self.ranking, trimmer, phi=phi, index=index
-            )
-        if plan.strategy == "approx-pivot":
-            if self.epsilon is None:
-                raise SolverError("the approx-pivot strategy requires epsilon")
-            if not isinstance(self.ranking, SumRanking):
-                raise SolverError("the approx-pivot strategy only applies to SUM rankings")
-            trimmer = LossySumTrimmer(self.ranking, epsilon=self.epsilon / 4.0)
-            return pivoting_quantile(
-                self.query,
-                self.db,
-                self.ranking,
-                trimmer,
-                phi=phi,
-                index=index,
-                epsilon=self.epsilon,
-            )
-        raise SolverError(f"unhandled strategy {plan.strategy!r}")
-
-    # ------------------------------------------------------------------ #
-    def _exact_trimmer(self, plan: SolverPlan) -> Trimmer:
-        if isinstance(self.ranking, (MinRanking, MaxRanking)):
-            return MinMaxTrimmer(self.ranking)
-        if isinstance(self.ranking, LexRanking):
-            return LexTrimmer(self.ranking)
-        if isinstance(self.ranking, SumRanking):
-            if not plan.classification.is_tractable and self.strategy == "exact-pivot":
-                raise IntractableQueryError(
-                    "exact-pivot was forced but the SUM query is conditionally "
-                    f"intractable: {plan.classification.reason}"
-                )
-            return SumAdjacentTrimmer(self.ranking)
-        raise RankingError(
-            f"no exact trimming construction is known for {self.ranking.describe()}"
-        )
-
-    def _solve_by_sampling(
-        self, phi: float | None = None, index: int | None = None
-    ) -> QuantileResult:
-        if self.epsilon is None:
-            raise SolverError("the sampling strategy requires epsilon")
-        canonical_query, canonical_db = ensure_canonical(self.query, self.db)
-        total = count_answers(canonical_query, canonical_db)
-        if index is not None:
-            if total == 0:
-                raise SolverError("the query has no answers")
-            phi = index / total
-        assert phi is not None
-        outcome = sampling_quantile(
-            canonical_query,
-            canonical_db,
-            self.ranking,
-            phi=phi,
-            epsilon=self.epsilon,
-            seed=self.seed,
-        )
-        original = set(self.query.variables)
-        assignment = {k: v for k, v in outcome.assignment.items() if k in original}
-        return QuantileResult(
-            assignment=assignment,
-            weight=outcome.weight,
-            target_index=target_index_for(phi, total),
-            total_answers=total,
-            strategy="sampling",
-            exact=False,
-            epsilon=self.epsilon,
-        )
+        return self.prepared.selection(index)
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,631 @@
+"""Prepared-query engine: pay query planning once, execute many times.
+
+The paper's headline result is that a φ-quantile over an acyclic join costs
+roughly the database size *after* a linear-time preprocessing pass.  The
+one-shot entry points (:func:`repro.core.solver.quantile`,
+:class:`repro.core.solver.QuantileSolver`) rebuild that preprocessing on every
+call; :class:`Engine` and :class:`PreparedQuery` implement the classic
+prepare-once/execute-many database pattern instead:
+
+* :class:`Engine` owns a :class:`~repro.data.database.Database` and hands out
+  prepared queries via :meth:`Engine.prepare` (memoizing them per
+  (query, ranking, parameters) so repeated traffic shares preparation).
+* :class:`PreparedQuery` computes once and caches the canonical rewrite, the
+  rooted join tree, the Yannakakis semijoin-reduced database, the answer
+  count ``|Q(D)|``, the strategy plan, and the trimmer — then exposes
+  :meth:`~PreparedQuery.quantile`, batch :meth:`~PreparedQuery.quantiles`,
+  :meth:`~PreparedQuery.selection`, :meth:`~PreparedQuery.median`, and
+  :meth:`~PreparedQuery.count`.
+* Across calls, a shared pivot cache memoizes the deterministic pivoting
+  iterations per candidate interval, so a batch of φ values re-runs only the
+  suffix of the search path where the target ranks diverge.
+
+Quick start
+-----------
+>>> from repro import Engine
+>>> engine = Engine(db)                                    # doctest: +SKIP
+>>> pq = engine.prepare("R(x1, x2), S(x2, x3)", "sum(x1, x3)")  # doctest: +SKIP
+>>> pq.quantiles([0.1, 0.25, 0.5, 0.75, 0.9])              # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.approx.lossy_sum_trim import LossySumTrimmer
+from repro.approx.randomized import sampling_quantile
+from repro.baselines.materialize import select_from_sorted, sorted_answers
+from repro.core.quantile import phi_for_index, pivoting_quantile, target_index_for
+from repro.core.result import QuantileResult
+from repro.data.database import Database
+from repro.exceptions import IntractableQueryError, RankingError, SolverError
+from repro.joins.counting import count_from_tree
+from repro.joins.message_passing import MaterializedTree
+from repro.joins.yannakakis import full_reduce
+from repro.query.classify import (
+    SumClassification,
+    classify_always_tractable,
+    classify_sum,
+)
+from repro.query.join_query import JoinQuery
+from repro.query.join_tree import RootedJoinTree, build_join_tree
+from repro.query.parser import parse_ranking
+from repro.query.rewrite import ensure_canonical
+from repro.ranking.base import RankingFunction
+from repro.ranking.lex import LexRanking
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+from repro.trim.base import Trimmer
+from repro.trim.lex_trim import LexTrimmer
+from repro.trim.minmax_trim import MinMaxTrimmer
+from repro.trim.sum_adjacent_trim import SumAdjacentTrimmer
+
+#: Strategy identifiers accepted by the engine and the legacy solver facade.
+STRATEGIES = ("auto", "exact-pivot", "approx-pivot", "sampling", "materialize")
+
+#: Default cap on memoized pivoting iterations per prepared query.
+DEFAULT_PIVOT_CACHE_LIMIT = 256
+
+#: Default cap on memoized terminal answer lists per prepared query.  Kept
+#: much smaller than the pivot-cache limit: each entry holds up to
+#: ``termination_factor x |D|`` materialized answers, so this bound — not the
+#: pivot cache's — dominates the engine's memory ceiling.
+DEFAULT_ANSWER_CACHE_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class SolverPlan:
+    """The strategy the planner picked and why.
+
+    Attributes
+    ----------
+    strategy:
+        One of ``"exact-pivot"``, ``"approx-pivot"``, ``"sampling"``,
+        ``"materialize"``.
+    classification:
+        The dichotomy classification of the (query, ranking) pair.
+    reason:
+        Human-readable explanation of the choice.
+    """
+
+    strategy: str
+    classification: SumClassification
+    reason: str
+
+
+class _CappedCache(dict):
+    """A dict that silently stops accepting new keys past a size limit.
+
+    Bounds the memory held by the pivot cache (each entry keeps two trimmed
+    sub-databases); existing entries keep being served, and overwriting an
+    existing key is always allowed.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__()
+        self.limit = limit
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if len(self) >= self.limit and key not in self:
+            return
+        super().__setitem__(key, value)
+
+
+class PreparedQuery:
+    """A (query, ranking) pair with all per-query preprocessing cached.
+
+    Obtained from :meth:`Engine.prepare`.  Preparation runs the linear-time
+    preprocessing of the paper exactly once — canonical rewrite, rooted join
+    tree, Yannakakis full semijoin reduction, answer count, strategy plan,
+    trimmer construction — and every subsequent :meth:`quantile`,
+    :meth:`quantiles`, :meth:`selection`, :meth:`median`, or :meth:`count`
+    call reuses it.  A pivot cache shared across calls additionally memoizes
+    the deterministic pivoting iterations per candidate weight interval.
+
+    Parameters
+    ----------
+    query, ranking:
+        The join query and ranking function; both also accept the string
+        specs of :meth:`JoinQuery.parse` / :func:`parse_ranking`
+        (``"R(x1, x2), S(x2, x3)"``, ``"sum(x1, x3)"``).
+    epsilon:
+        Allowed position error.  Required for conditionally intractable SUM
+        queries (unless ``strategy="materialize"``); optional otherwise.
+    strategy:
+        ``"auto"`` (default) picks per the dichotomy; the other values force
+        a specific algorithm.
+    seed:
+        Seed for the randomized sampling strategy.
+    pivot_cache_limit:
+        Maximum number of memoized pivoting iterations (0 disables the
+        cache).
+    termination_factor:
+        The pivoting loop materializes-and-selects once at most
+        ``termination_factor × |D|`` candidates remain (Algorithm 1 uses
+        factor 1).  A larger factor trades memory — up to that many answers
+        are materialized at the end — for fewer pivoting rounds, whose
+        terminal sorted answers are then shared across φ values through the
+        answer cache.  Results stay exact either way.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery | str,
+        db: Database,
+        ranking: RankingFunction | str,
+        epsilon: float | None = None,
+        strategy: str = "auto",
+        seed: int | None = None,
+        pivot_cache_limit: int = DEFAULT_PIVOT_CACHE_LIMIT,
+        termination_factor: int = 12,
+    ) -> None:
+        if isinstance(query, str):
+            query = JoinQuery.parse(query)
+        if isinstance(ranking, str):
+            ranking = parse_ranking(ranking)
+        if strategy not in STRATEGIES:
+            raise SolverError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+        ranking.validate_for(query.variables)
+        self.query = query
+        self.db = db
+        self.ranking = ranking
+        self.epsilon = epsilon
+        self.strategy = strategy
+        self.seed = seed
+        if termination_factor < 1:
+            raise SolverError("termination_factor must be at least 1")
+        self.termination_factor = termination_factor
+        # Prepared state, each computed at most once per prepared query.
+        self._plan: SolverPlan | None = None
+        self._classification: SumClassification | None = None
+        self._canonical: tuple[JoinQuery, Database] | None = None
+        self._rooted_tree: RootedJoinTree | None = None
+        self._reduced_db: Database | None = None
+        self._total: int | None = None
+        self._trimmer: Trimmer | None = None
+        self._materialized: list | None = None
+        self._pivot_cache: _CappedCache | None = (
+            _CappedCache(pivot_cache_limit) if pivot_cache_limit > 0 else None
+        )
+        self._answer_cache: _CappedCache | None = (
+            _CappedCache(min(pivot_cache_limit, DEFAULT_ANSWER_CACHE_LIMIT))
+            if pivot_cache_limit > 0
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Preparation
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> "PreparedQuery":
+        """Eagerly run all preprocessing the chosen strategy needs.
+
+        Called by :meth:`Engine.prepare`; afterwards, execution methods do no
+        per-query setup work.  Returns ``self`` for chaining.  Raises the
+        same planning errors a lazy first execution would (e.g.
+        :class:`IntractableQueryError` for an exact-intractable SUM query
+        without ``epsilon``).
+        """
+        plan = self.plan()
+        if plan.strategy in ("exact-pivot", "approx-pivot"):
+            self._ensure_reduced()
+            self._ensure_total()
+            self._ensure_trimmer(plan)
+        elif plan.strategy == "sampling":
+            self._ensure_canonical()
+            self._ensure_total()
+        elif plan.strategy == "materialize":
+            self._ensure_materialized()
+        return self
+
+    def classification(self) -> SumClassification:
+        """Dichotomy classification of the (query, ranking) pair (cached)."""
+        if self._classification is None:
+            if isinstance(self.ranking, SumRanking):
+                self._classification = classify_sum(
+                    self.query, frozenset(self.ranking.weighted_variables)
+                )
+            else:
+                self._classification = classify_always_tractable(self.query)
+        return self._classification
+
+    def plan(self) -> SolverPlan:
+        """Decide (and cache) which algorithm to run."""
+        if self._plan is not None:
+            return self._plan
+        classification = self.classification()
+        if self.strategy != "auto":
+            self._plan = SolverPlan(
+                self.strategy, classification, f"strategy forced to {self.strategy!r}"
+            )
+            return self._plan
+        if classification.is_tractable:
+            self._plan = SolverPlan(
+                "exact-pivot",
+                classification,
+                f"tractable: {classification.reason}",
+            )
+        elif self.epsilon is not None and isinstance(self.ranking, SumRanking):
+            self._plan = SolverPlan(
+                "approx-pivot",
+                classification,
+                "conditionally intractable for exact evaluation "
+                f"({classification.reason}); using the deterministic "
+                f"epsilon-approximation with epsilon={self.epsilon}",
+            )
+        else:
+            raise IntractableQueryError(
+                "exact quantile evaluation is conditionally intractable: "
+                f"{classification.reason}. Provide epsilon= for an approximate "
+                "answer, or force strategy='materialize' / 'sampling'."
+            )
+        return self._plan
+
+    def join_tree(self) -> RootedJoinTree:
+        """The rooted join tree of the canonical query (cached)."""
+        if self._rooted_tree is None:
+            canonical_query, _ = self._ensure_canonical()
+            self._rooted_tree = build_join_tree(canonical_query).rooted()
+        return self._rooted_tree
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def count(self) -> int:
+        """Number of answers ``|Q(D)|`` (computed once, then cached)."""
+        return self._ensure_total()
+
+    def quantile(self, phi: float) -> QuantileResult:
+        """Return the φ-quantile of the query answers."""
+        return self._solve(phi=phi)
+
+    def quantiles(self, phis: Iterable[float]) -> list[QuantileResult]:
+        """Batch φ-quantiles, reusing the prepared state across all values.
+
+        Equivalent to ``[pq.quantile(phi) for phi in phis]`` (results are
+        returned in input order) but intended for repeated traffic: all
+        values share the prepared structures and the pivot cache, so common
+        prefixes of the pivoting search are executed once.
+        """
+        phis = list(phis)
+        for phi in phis:
+            if not isinstance(phi, (int, float)) or not 0.0 <= float(phi) <= 1.0:
+                raise ValueError(f"phi must be in [0, 1], got {phi!r}")
+        return [self._solve(phi=float(phi)) for phi in phis]
+
+    def selection(self, index: int) -> QuantileResult:
+        """Return the answer at absolute 0-based ``index`` (selection problem)."""
+        return self._solve(index=index)
+
+    def median(self) -> QuantileResult:
+        """The 0.5-quantile (convenience)."""
+        return self.quantile(0.5)
+
+    # ------------------------------------------------------------------ #
+    # Cached state helpers
+    # ------------------------------------------------------------------ #
+    def _ensure_canonical(self) -> tuple[JoinQuery, Database]:
+        if self._canonical is None:
+            self._canonical = ensure_canonical(self.query, self.db)
+        return self._canonical
+
+    def _ensure_reduced(self) -> tuple[JoinQuery, Database]:
+        """Canonical query over the fully semijoin-reduced database."""
+        canonical_query, canonical_db = self._ensure_canonical()
+        if self._reduced_db is None:
+            self._reduced_db = full_reduce(canonical_query, canonical_db)
+        return canonical_query, self._reduced_db
+
+    def _ensure_total(self) -> int:
+        if self._total is None:
+            canonical_query, canonical_db = self._ensure_canonical()
+            db = self._reduced_db if self._reduced_db is not None else canonical_db
+            tree = MaterializedTree(canonical_query, db, rooted=self.join_tree())
+            self._total = count_from_tree(tree)
+        return self._total
+
+    def _ensure_materialized(self) -> list:
+        """All answers sorted by weight (for the ``materialize`` strategy)."""
+        if self._materialized is None:
+            self._materialized = sorted_answers(self.query, self.db, self.ranking)
+        return self._materialized
+
+    def _ensure_trimmer(self, plan: SolverPlan) -> Trimmer:
+        if self._trimmer is not None:
+            return self._trimmer
+        if plan.strategy == "approx-pivot":
+            if self.epsilon is None:
+                raise SolverError("the approx-pivot strategy requires epsilon")
+            if not isinstance(self.ranking, SumRanking):
+                raise SolverError("the approx-pivot strategy only applies to SUM rankings")
+            self._trimmer = LossySumTrimmer(self.ranking, epsilon=self.epsilon / 4.0)
+            return self._trimmer
+        if isinstance(self.ranking, (MinRanking, MaxRanking)):
+            self._trimmer = MinMaxTrimmer(self.ranking)
+        elif isinstance(self.ranking, LexRanking):
+            self._trimmer = LexTrimmer(self.ranking)
+        elif isinstance(self.ranking, SumRanking):
+            if not plan.classification.is_tractable and self.strategy == "exact-pivot":
+                raise IntractableQueryError(
+                    "exact-pivot was forced but the SUM query is conditionally "
+                    f"intractable: {plan.classification.reason}"
+                )
+            self._trimmer = SumAdjacentTrimmer(self.ranking)
+        else:
+            raise RankingError(
+                f"no exact trimming construction is known for {self.ranking.describe()}"
+            )
+        return self._trimmer
+
+    # ------------------------------------------------------------------ #
+    # Strategy dispatch
+    # ------------------------------------------------------------------ #
+    def _solve(self, phi: float | None = None, index: int | None = None) -> QuantileResult:
+        if (phi is None) == (index is None):
+            raise ValueError("exactly one of phi and index must be provided")
+        plan = self.plan()
+        if plan.strategy == "materialize":
+            return self._solve_by_materialization(phi=phi, index=index)
+        if plan.strategy == "sampling":
+            return self._solve_by_sampling(phi=phi, index=index)
+        if plan.strategy in ("exact-pivot", "approx-pivot"):
+            trimmer = self._ensure_trimmer(plan)
+            base_query, base_db = self._ensure_reduced()
+            return pivoting_quantile(
+                base_query,
+                base_db,
+                self.ranking,
+                trimmer,
+                phi=phi,
+                index=index,
+                epsilon=self.epsilon if plan.strategy == "approx-pivot" else None,
+                termination_size=self.termination_factor * max(base_db.size, 1),
+                total=self._ensure_total(),
+                pivot_cache=self._pivot_cache,
+                answer_cache=self._answer_cache,
+            )
+        raise SolverError(f"unhandled strategy {plan.strategy!r}")
+
+    def _solve_by_materialization(
+        self, phi: float | None = None, index: int | None = None
+    ) -> QuantileResult:
+        """Materialize-and-select, paying the join once per prepared query.
+
+        Works on the original (possibly cyclic) query/database, like the
+        baseline it replaces.
+        """
+        return select_from_sorted(
+            self._ensure_materialized(), self.ranking, phi=phi, index=index
+        )
+
+    def _solve_by_sampling(
+        self, phi: float | None = None, index: int | None = None
+    ) -> QuantileResult:
+        if self.epsilon is None:
+            raise SolverError("the sampling strategy requires epsilon")
+        canonical_query, canonical_db = self._ensure_canonical()
+        total = self._ensure_total()
+        if index is not None:
+            if total == 0:
+                raise SolverError("the query has no answers")
+            phi = phi_for_index(index, total)
+        assert phi is not None
+        outcome = sampling_quantile(
+            canonical_query,
+            canonical_db,
+            self.ranking,
+            phi=phi,
+            epsilon=self.epsilon,
+            seed=self.seed,
+        )
+        original = set(self.query.variables)
+        assignment = {k: v for k, v in outcome.assignment.items() if k in original}
+        return QuantileResult(
+            assignment=assignment,
+            weight=outcome.weight,
+            target_index=target_index_for(phi, total),
+            total_answers=total,
+            strategy="sampling",
+            exact=False,
+            epsilon=self.epsilon,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pivot_cache_size(self) -> int:
+        """Number of memoized pivoting iterations currently held."""
+        return len(self._pivot_cache) if self._pivot_cache is not None else 0
+
+    def clear_pivot_cache(self) -> None:
+        """Drop the memoized pivoting iterations (prepared state is kept)."""
+        if self._pivot_cache is not None:
+            self._pivot_cache.clear()
+        if self._answer_cache is not None:
+            self._answer_cache.clear()
+
+    def __repr__(self) -> str:
+        prepared = "prepared" if self._plan is not None else "lazy"
+        return (
+            f"PreparedQuery({self.query!r}, ranking={self.ranking.describe()}, "
+            f"strategy={self.strategy!r}, {prepared})"
+        )
+
+
+class Engine:
+    """A quantile-query engine over one database.
+
+    The engine owns a :class:`~repro.data.database.Database` and hands out
+    :class:`PreparedQuery` objects.  Prepared queries are memoized per
+    (query, ranking, epsilon, strategy, seed) signature — repeated
+    ``prepare`` calls for the same workload (the heavy-traffic case the
+    ROADMAP targets) return the *same* prepared query, sharing all cached
+    planning state.
+
+    Parameters
+    ----------
+    db:
+        The database all prepared queries run against.
+    pivot_cache_limit:
+        Per-prepared-query cap on memoized pivoting iterations (0 disables
+        pivot caching).
+    memoize:
+        Whether :meth:`prepare` memoizes prepared queries.  Rankings with
+        custom per-variable weight functions are never memoized (their
+        signatures are not reliably comparable).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        pivot_cache_limit: int = DEFAULT_PIVOT_CACHE_LIMIT,
+        memoize: bool = True,
+    ) -> None:
+        self.db = db
+        self.pivot_cache_limit = pivot_cache_limit
+        self.memoize = memoize
+        self._prepared: dict[tuple, PreparedQuery] = {}
+
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        query: JoinQuery | str,
+        ranking: RankingFunction | str,
+        epsilon: float | None = None,
+        strategy: str = "auto",
+        seed: int | None = None,
+        eager: bool = True,
+        termination_factor: int | None = None,
+    ) -> PreparedQuery:
+        """Plan a (query, ranking) pair once and return the prepared query.
+
+        Parameters
+        ----------
+        query, ranking:
+            Objects or string specs (``"R(x1, x2), S(x2, x3)"``,
+            ``"sum(x1, x3)"``).
+        eager:
+            Run all preprocessing now (default).  ``eager=False`` defers
+            every computation to first use — planning errors then surface on
+            the first execution call instead of here (this is what the
+            legacy :class:`~repro.core.solver.QuantileSolver` facade uses to
+            preserve its historical error timing).
+        termination_factor:
+            Per-query override of the memory/speed trade-off (see
+            :class:`PreparedQuery`); ``None`` uses the class default.  Pass 1
+            to keep Algorithm 1's ``|D|`` memory bound.
+        """
+        if isinstance(query, str):
+            query = JoinQuery.parse(query)
+        if isinstance(ranking, str):
+            ranking = parse_ranking(ranking)
+        kwargs: dict = {}
+        if termination_factor is not None:
+            kwargs["termination_factor"] = termination_factor
+        key = self._signature(query, ranking, epsilon, strategy, seed, termination_factor)
+        if key is not None and key in self._prepared:
+            prepared = self._prepared[key]
+        else:
+            prepared = PreparedQuery(
+                query,
+                self.db,
+                ranking,
+                epsilon=epsilon,
+                strategy=strategy,
+                seed=seed,
+                pivot_cache_limit=self.pivot_cache_limit,
+                **kwargs,
+            )
+            if key is not None:
+                self._prepared[key] = prepared
+        if eager:
+            prepared.prepare()
+        return prepared
+
+    def _signature(
+        self,
+        query: JoinQuery,
+        ranking: RankingFunction,
+        epsilon: float | None,
+        strategy: str,
+        seed: int | None,
+        termination_factor: int | None,
+    ) -> tuple | None:
+        """Memoization key for a prepared query, or None if not memoizable."""
+        if not self.memoize or getattr(ranking, "_weights", None):
+            return None
+        return (
+            query,
+            type(ranking),
+            ranking.weighted_variables,
+            epsilon,
+            strategy,
+            seed,
+            termination_factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    # One-shot conveniences (still memoized through prepare)
+    # ------------------------------------------------------------------ #
+    def quantile(
+        self,
+        query: JoinQuery | str,
+        ranking: RankingFunction | str,
+        phi: float,
+        **kwargs: Any,
+    ) -> QuantileResult:
+        """``prepare(...).quantile(phi)`` in one call."""
+        return self.prepare(query, ranking, **kwargs).quantile(phi)
+
+    def quantiles(
+        self,
+        query: JoinQuery | str,
+        ranking: RankingFunction | str,
+        phis: Sequence[float],
+        **kwargs: Any,
+    ) -> list[QuantileResult]:
+        """``prepare(...).quantiles(phis)`` in one call."""
+        return self.prepare(query, ranking, **kwargs).quantiles(phis)
+
+    def selection(
+        self,
+        query: JoinQuery | str,
+        ranking: RankingFunction | str,
+        index: int,
+        **kwargs: Any,
+    ) -> QuantileResult:
+        """``prepare(...).selection(index)`` in one call."""
+        return self.prepare(query, ranking, **kwargs).selection(index)
+
+    def count(self, query: JoinQuery | str, ranking: RankingFunction | str | None = None) -> int:
+        """``|Q(D)|`` for a query over the engine's database."""
+        if isinstance(query, str):
+            query = JoinQuery.parse(query)
+        if ranking is None:
+            # Counting does not need a ranking; synthesize one over any variable.
+            ranking = MinRanking([next(iter(sorted(query.variables)))])
+        return self.prepare(query, ranking, eager=False).count()
+
+    @property
+    def prepared_count(self) -> int:
+        """Number of memoized prepared queries."""
+        return len(self._prepared)
+
+    def clear(self) -> None:
+        """Drop all memoized prepared queries."""
+        self._prepared.clear()
+
+    def __repr__(self) -> str:
+        return f"Engine(db={self.db.size} tuples, prepared={self.prepared_count})"
+
+
+__all__ = [
+    "STRATEGIES",
+    "SolverPlan",
+    "Engine",
+    "PreparedQuery",
+    "DEFAULT_PIVOT_CACHE_LIMIT",
+    "DEFAULT_ANSWER_CACHE_LIMIT",
+]

@@ -1,9 +1,10 @@
-"""Join queries, hypergraphs, join trees, and query classification."""
+"""Join queries, hypergraphs, join trees, parsers, and query classification."""
 
 from repro.query.atom import Atom
 from repro.query.hypergraph import Hypergraph
 from repro.query.join_query import JoinQuery
 from repro.query.join_tree import JoinTree, RootedJoinTree, build_join_tree
+from repro.query.parser import parse_atom, parse_join_query, parse_ranking
 from repro.query.rewrite import canonicalize
 
 __all__ = [
@@ -14,4 +15,7 @@ __all__ = [
     "RootedJoinTree",
     "build_join_tree",
     "canonicalize",
+    "parse_atom",
+    "parse_join_query",
+    "parse_ranking",
 ]

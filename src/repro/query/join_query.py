@@ -44,6 +44,23 @@ class JoinQuery:
         if not self.atoms:
             raise QueryError("a join query must have at least one atom")
 
+    @classmethod
+    def parse(cls, spec: str) -> "JoinQuery":
+        """Parse a textual query spec such as ``"R(x1, x2), S(x2, x3)"``.
+
+        Atoms are comma-separated; each atom binds its relation's columns to
+        query variables by position.  Raises :class:`QueryError` on malformed
+        input.
+
+        Examples
+        --------
+        >>> JoinQuery.parse("R(x1, x2), S(x2, x3)")
+        JoinQuery(R(x1, x2), S(x2, x3))
+        """
+        from repro.query.parser import parse_join_query
+
+        return parse_join_query(spec)
+
     # ------------------------------------------------------------------ #
     # Basic structure
     # ------------------------------------------------------------------ #

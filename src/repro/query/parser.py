@@ -1,0 +1,157 @@
+"""Parsers for string specifications of queries and rankings.
+
+The textual forms accepted here are the conjunctive-query notation used
+throughout the paper and the CLI::
+
+    R(x1, x2), S(x2, x3)        # a join query: comma-separated atoms
+    sum(x1, x3)                 # a ranking: aggregate name + weighted variables
+
+Both the library API (:meth:`repro.query.join_query.JoinQuery.parse`,
+:func:`parse_ranking`, ``Engine.prepare`` with string arguments) and the
+command-line interface share these parsers, so error messages and accepted
+syntax stay identical across entry points.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import QueryError, RankingError
+from repro.query.atom import Atom
+
+_ATOM_RE = re.compile(r"\s*(?P<name>\w+)\s*\(\s*(?P<vars>[^()]*?)\s*\)\s*")
+_RANKING_RE = re.compile(r"^\s*(?P<kind>\w+)\s*\(\s*(?P<vars>[^()]*?)\s*\)\s*$")
+
+#: Aggregate names accepted in ranking specs.  The name-to-class mapping
+#: lives inside :func:`parse_ranking` (imported there lazily so that
+#: ``repro.query`` stays importable without the ``repro.ranking`` package).
+RANKING_KINDS = ("sum", "min", "max", "lex")
+
+
+def _split_variables(text: str, context: str) -> tuple[str, ...]:
+    """Split a comma-separated variable list, rejecting empty entries.
+
+    Variable names may be any non-empty token without internal whitespace
+    (CSV headers like ``price-usd`` are legal); whitespace inside a name is
+    rejected because it is almost always a missing comma.
+    """
+    variables = [v.strip() for v in text.split(",")]
+    if any(not v for v in variables) or not text.strip():
+        raise QueryError(
+            f"{context} has an empty variable list entry in {text!r}; expected "
+            "a comma-separated list of variable names"
+        )
+    for variable in variables:
+        if re.search(r"\s", variable):
+            raise QueryError(
+                f"{context} has an invalid variable name {variable!r}; "
+                "variable names cannot contain whitespace (missing comma?)"
+            )
+    return tuple(variables)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse ``"R(x, y)"`` into an :class:`~repro.query.atom.Atom`.
+
+    Raises
+    ------
+    QueryError
+        If the text is not of the form ``RelationName(var1, ..., vark)``.
+    """
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise QueryError(
+            f"atom {text!r} is not of the form RelationName(var1, var2, ...)"
+        )
+    return Atom(match.group("name"), _split_variables(match.group("vars"), f"atom {text!r}"))
+
+
+def parse_join_query(spec: str):
+    """Parse ``"R(x1, x2), S(x2, x3)"`` into a ``JoinQuery``.
+
+    Atoms are separated by commas at nesting level zero (commas inside the
+    parentheses of an atom separate that atom's variables).
+
+    Raises
+    ------
+    QueryError
+        If the spec is empty, malformed, or has trailing garbage.
+    """
+    from repro.query.join_query import JoinQuery
+
+    if not spec or not spec.strip():
+        raise QueryError("empty join-query spec; expected e.g. 'R(x1, x2), S(x2, x3)'")
+    atoms: list[Atom] = []
+    position = 0
+    while position < len(spec):
+        match = _ATOM_RE.match(spec, position)
+        if not match:
+            raise QueryError(
+                f"join-query spec {spec!r} is malformed at position {position} "
+                f"(near {spec[position:position + 20]!r}); expected an atom of "
+                "the form RelationName(var1, var2, ...)"
+            )
+        atoms.append(
+            Atom(match.group("name"), _split_variables(match.group("vars"), f"atom in {spec!r}"))
+        )
+        position = match.end()
+        if position < len(spec):
+            if spec[position] != ",":
+                raise QueryError(
+                    f"join-query spec {spec!r} has unexpected text at position "
+                    f"{position} (near {spec[position:position + 20]!r}); atoms "
+                    "must be separated by commas"
+                )
+            position += 1
+            if position >= len(spec) or not spec[position:].strip():
+                raise QueryError(f"join-query spec {spec!r} ends with a trailing comma")
+    return JoinQuery(atoms)
+
+
+def ranking_class(kind: str):
+    """The ranking class for an aggregate name (case-insensitive).
+
+    Raises
+    ------
+    RankingError
+        If the name is not one of :data:`RANKING_KINDS`.
+    """
+    from repro.ranking.lex import LexRanking
+    from repro.ranking.minmax import MaxRanking, MinRanking
+    from repro.ranking.sum import SumRanking
+
+    classes = {"sum": SumRanking, "min": MinRanking, "max": MaxRanking, "lex": LexRanking}
+    try:
+        return classes[kind.lower()]
+    except KeyError:
+        raise RankingError(
+            f"unknown ranking aggregate {kind!r}; expected one of {RANKING_KINDS}"
+        ) from None
+
+
+def parse_ranking(spec: str):
+    """Parse ``"sum(x1, x3)"`` into a ranking function.
+
+    Accepted aggregate names (case-insensitive): ``sum``, ``min``, ``max``,
+    and ``lex`` (whose variable order is the lexicographic priority order).
+
+    Raises
+    ------
+    RankingError
+        If the spec is malformed or names an unknown aggregate.
+    """
+    match = _RANKING_RE.match(spec or "")
+    if not match:
+        raise RankingError(
+            f"ranking spec {spec!r} is not of the form aggregate(var1, ..., vark); "
+            f"expected e.g. 'sum(x1, x3)' with aggregate one of {RANKING_KINDS}"
+        )
+    try:
+        cls = ranking_class(match.group("kind"))
+    except RankingError as error:
+        raise RankingError(f"{error} (in spec {spec!r})") from None
+    try:
+        variables = _split_variables(match.group("vars"), f"ranking spec {spec!r}")
+    except QueryError as error:
+        raise RankingError(str(error)) from error
+    return cls(list(variables))

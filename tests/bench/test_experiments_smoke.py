@@ -50,6 +50,17 @@ class TestExactScalingExperiments:
         assert [row["fanout"] for row in result.rows] == [2, 10]
         assert result.rows[1]["blowup"] > result.rows[0]["blowup"]
 
+    def test_e12_shape(self):
+        result = experiments.run_e12(sizes=(120,), num_phis=8, seed=7)
+        row = result.rows[0]
+        assert row["phis"] == 8
+        # run_e12 itself asserts prepared-batch answers equal the cold ones;
+        # no timing assertion here — wall-clock ratios are too noisy at smoke
+        # scale (the >= 2x acceptance bar is checked at full benchmark scale).
+        assert row["speedup"] > 0
+        assert row["pivot_cache_entries"] > 0
+        assert result.notes
+
 
 class TestApproximationExperiments:
     def test_e5_errors_within_epsilon(self):

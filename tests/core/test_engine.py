@@ -1,0 +1,256 @@
+"""Tests for the prepared-query engine (Engine / PreparedQuery)."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine import Engine, PreparedQuery, SolverPlan
+from repro.exceptions import IntractableQueryError, RankingError, SolverError
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.ranking.minmax import MaxRanking
+from repro.ranking.sum import SumRanking
+from repro.core.solver import QuantileSolver, quantile
+
+from tests.conftest import assert_valid_quantile
+
+
+@pytest.fixture
+def engine(binary_join):
+    _, db = binary_join
+    return Engine(db)
+
+
+@pytest.fixture
+def prepared(binary_join, engine):
+    query, _ = binary_join
+    return engine.prepare(query, SumRanking(["x1", "x3"]))
+
+
+class TestPrepare:
+    def test_prepare_returns_prepared_query(self, prepared):
+        assert isinstance(prepared, PreparedQuery)
+        assert isinstance(prepared.plan(), SolverPlan)
+
+    def test_prepare_accepts_string_specs(self, engine):
+        prepared = engine.prepare("R1(x1, x2), R2(x2, x3)", "sum(x1, x3)")
+        assert prepared.query == JoinQuery.parse("R1(x1, x2), R2(x2, x3)")
+        assert prepared.ranking.weighted_variables == ("x1", "x3")
+        assert prepared.count() > 0
+
+    def test_engine_memoizes_prepared_queries(self, binary_join, engine):
+        query, _ = binary_join
+        first = engine.prepare(query, SumRanking(["x1", "x3"]))
+        second = engine.prepare(query, SumRanking(["x1", "x3"]))
+        assert first is second
+        assert engine.prepared_count == 1
+
+    def test_memoization_distinguishes_parameters(self, binary_join, engine):
+        query, _ = binary_join
+        a = engine.prepare(query, SumRanking(["x1", "x3"]))
+        b = engine.prepare(query, SumRanking(["x1", "x3"]), strategy="materialize")
+        c = engine.prepare(query, MaxRanking(["x1"]))
+        assert a is not b and a is not c
+        assert engine.prepared_count == 3
+
+    def test_clear_drops_memoized_queries(self, binary_join, engine):
+        query, _ = binary_join
+        engine.prepare(query, SumRanking(["x1", "x3"]))
+        engine.clear()
+        assert engine.prepared_count == 0
+
+    def test_eager_prepare_raises_planning_errors(self, three_path):
+        query, db = three_path
+        engine = Engine(db)
+        with pytest.raises(IntractableQueryError):
+            engine.prepare(query, SumRanking(["x1", "x2", "x3", "x4"]))
+
+    def test_lazy_prepare_defers_planning_errors(self, three_path):
+        query, db = three_path
+        engine = Engine(db)
+        prepared = engine.prepare(
+            query, SumRanking(["x1", "x2", "x3", "x4"]), eager=False
+        )
+        with pytest.raises(IntractableQueryError):
+            prepared.quantile(0.5)
+
+    def test_unknown_strategy_rejected(self, binary_join):
+        query, db = binary_join
+        with pytest.raises(SolverError):
+            PreparedQuery(query, db, SumRanking(["x1"]), strategy="magic")
+
+    def test_invalid_termination_factor_rejected(self, binary_join):
+        query, db = binary_join
+        with pytest.raises(SolverError):
+            PreparedQuery(query, db, SumRanking(["x1"]), termination_factor=0)
+
+    def test_ranking_validated_against_query(self, binary_join):
+        query, db = binary_join
+        with pytest.raises(RankingError):
+            PreparedQuery(query, db, SumRanking(["nope"]))
+
+
+class TestPreparedStateReuse:
+    def test_plan_computed_once(self, prepared):
+        assert prepared.plan() is prepared.plan()
+
+    def test_classification_computed_once(self, prepared):
+        assert prepared.classification() is prepared.classification()
+
+    def test_canonicalization_computed_once(self, prepared, monkeypatch):
+        import repro.engine as engine_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("ensure_canonical re-ran after preparation")
+
+        monkeypatch.setattr(engine_module, "ensure_canonical", forbidden)
+        prepared.quantile(0.25)
+        prepared.quantile(0.75)
+        prepared.selection(0)
+        assert prepared.count() > 0
+
+    def test_count_computed_once(self, prepared, monkeypatch):
+        import repro.engine as engine_module
+
+        total = prepared.count()
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("the answer count was recomputed")
+
+        monkeypatch.setattr(engine_module, "count_from_tree", forbidden)
+        assert prepared.count() == total
+        assert prepared.quantile(0.5).total_answers == total
+
+    def test_pivot_cache_reused_across_calls(self, prepared):
+        prepared.quantile(0.5)
+        entries_after_first = prepared.pivot_cache_size
+        prepared.quantile(0.5)
+        assert prepared.pivot_cache_size == entries_after_first
+
+    def test_clear_pivot_cache(self, prepared):
+        prepared.quantile(0.5)
+        prepared.clear_pivot_cache()
+        assert prepared.pivot_cache_size == 0
+        # Still answers correctly after the cache is dropped.
+        assert prepared.quantile(0.5).exact
+
+
+class TestExecution:
+    def test_batch_equals_per_phi_calls(self, binary_join):
+        query, db = binary_join
+        ranking = SumRanking(["x1", "x2", "x3"])
+        prepared = Engine(db).prepare(query, ranking)
+        phis = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+        batch = prepared.quantiles(phis)
+        singles = [prepared.quantile(phi) for phi in phis]
+        assert [r.weight for r in batch] == [r.weight for r in singles]
+        assert [r.target_index for r in batch] == [r.target_index for r in singles]
+        for phi, result in zip(phis, batch):
+            assert_valid_quantile(query, db, ranking, result, phi)
+
+    def test_batch_matches_legacy_cold_calls(self, binary_join):
+        query, db = binary_join
+        ranking = SumRanking(["x1", "x2", "x3"])
+        prepared = Engine(db).prepare(query, ranking)
+        phis = [0.1, 0.5, 0.9]
+        batch = prepared.quantiles(phis)
+        cold = [quantile(query, db, ranking, phi) for phi in phis]
+        assert [r.weight for r in batch] == [r.weight for r in cold]
+
+    def test_batch_preserves_input_order(self, prepared):
+        results = prepared.quantiles([0.9, 0.1, 0.5])
+        assert results[0].target_index >= results[2].target_index >= results[1].target_index
+
+    def test_batch_rejects_invalid_phi(self, prepared):
+        with pytest.raises(ValueError):
+            prepared.quantiles([0.5, 1.5])
+        with pytest.raises(ValueError):
+            prepared.quantiles([0.5, "oops"])
+
+    def test_median(self, prepared):
+        assert prepared.median().weight == prepared.quantile(0.5).weight
+
+    def test_selection_agrees_with_quantile(self, prepared):
+        by_phi = prepared.quantile(0.5)
+        by_index = prepared.selection(by_phi.target_index)
+        assert by_index.weight == by_phi.weight
+
+    def test_count_matches_result_totals(self, prepared):
+        assert prepared.count() == prepared.quantile(0.5).total_answers
+
+    def test_sampling_selection_hits_requested_index(self, three_path):
+        query, db = three_path
+        ranking = SumRanking(["x1", "x2", "x3", "x4"])
+        prepared = Engine(db).prepare(
+            query, ranking, epsilon=0.3, strategy="sampling", seed=3
+        )
+        total = prepared.count()
+        for index in (0, 1, total // 2, total - 1):
+            assert prepared.selection(index).target_index == index
+
+    def test_engine_one_shot_helpers(self, binary_join):
+        query, db = binary_join
+        engine = Engine(db)
+        ranking = SumRanking(["x1", "x3"])
+        result = engine.quantile(query, ranking, 0.5)
+        assert result.weight == engine.selection(query, ranking, result.target_index).weight
+        assert len(engine.quantiles(query, ranking, [0.25, 0.75])) == 2
+        assert engine.count(query) == result.total_answers
+
+    def test_join_tree_exposed(self, prepared):
+        tree = prepared.join_tree()
+        assert tree is prepared.join_tree()
+        assert len(tree.tree.nodes()) == len(prepared.query.atoms)
+
+
+class TestLegacyFacadeWiring:
+    def test_solver_is_backed_by_prepared_query(self, binary_join):
+        query, db = binary_join
+        solver = QuantileSolver(query, db, SumRanking(["x1", "x3"]))
+        assert isinstance(solver.prepared, PreparedQuery)
+        assert solver.prepared is solver.prepared
+
+    def test_solver_uses_algorithm1_termination(self, binary_join):
+        query, db = binary_join
+        solver = QuantileSolver(query, db, SumRanking(["x1", "x3"]))
+        assert solver.prepared.termination_factor == 1
+
+    def test_solver_attribute_mutation_takes_effect(self, three_path):
+        query, db = three_path
+        solver = QuantileSolver(query, db, SumRanking(["x1", "x2", "x3", "x4"]))
+        with pytest.raises(IntractableQueryError):
+            solver.quantile(0.5)
+        solver.epsilon = 0.25
+        result = solver.quantile(0.5)
+        assert result.strategy == "approx-pivot"
+
+    def test_engine_termination_factor_passthrough(self, binary_join, engine):
+        query, _ = binary_join
+        ranking = SumRanking(["x1", "x3"])
+        default = engine.prepare(query, ranking)
+        matched = engine.prepare(query, ranking, termination_factor=1)
+        assert default is not matched
+        assert matched.termination_factor == 1
+        assert engine.prepare(query, ranking, termination_factor=1) is matched
+        assert default.quantile(0.5).weight == matched.quantile(0.5).weight
+
+    def test_materialize_strategy_prepares_and_caches(self, binary_join, engine, monkeypatch):
+        query, _ = binary_join
+        prepared = engine.prepare(query, SumRanking(["x1", "x3"]), strategy="materialize")
+        import repro.engine as engine_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("materialization re-ran after eager prepare")
+
+        monkeypatch.setattr(engine_module, "sorted_answers", forbidden)
+        results = prepared.quantiles([0.25, 0.5, 0.75])
+        assert all(r.strategy == "materialize" and r.exact for r in results)
+
+    def test_solver_batch_method(self, binary_join):
+        query, db = binary_join
+        solver = QuantileSolver(query, db, SumRanking(["x1", "x3"]))
+        results = solver.quantiles([0.25, 0.75])
+        assert [r.weight for r in results] == [
+            solver.quantile(0.25).weight,
+            solver.quantile(0.75).weight,
+        ]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.quantile import pivoting_quantile, target_index_for
+from repro.core.quantile import phi_for_index, pivoting_quantile, target_index_for
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.exceptions import EmptyResultError
@@ -34,6 +34,35 @@ class TestTargetIndex:
     def test_empty(self):
         with pytest.raises(EmptyResultError):
             target_index_for(0.5, 0)
+
+
+class TestPhiForIndex:
+    def test_exact_round_trip(self):
+        """Regression: ``index / total`` drifts to a neighbouring rank through
+        floating point (e.g. ``⌊(3/7)·7⌋ == 2``); the shared helper must not."""
+        for total in range(1, 120):
+            for index in range(total):
+                phi = phi_for_index(index, total)
+                assert target_index_for(phi, total) == index, (index, total)
+
+    def test_naive_conversion_would_drift(self):
+        # Documents the bug the helper fixes: the old index/total conversion.
+        assert target_index_for(15 / 22, 22) == 14  # not 15!
+        assert target_index_for(phi_for_index(15, 22), 22) == 15
+
+    def test_phi_stays_in_unit_interval(self):
+        assert 0.0 <= phi_for_index(0, 1) <= 1.0
+        assert 0.0 <= phi_for_index(999, 1000) <= 1.0
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            phi_for_index(-1, 10)
+        with pytest.raises(ValueError):
+            phi_for_index(10, 10)
+
+    def test_empty(self):
+        with pytest.raises(EmptyResultError):
+            phi_for_index(0, 0)
 
 
 class TestDriver:

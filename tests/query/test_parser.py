@@ -1,0 +1,106 @@
+"""Tests for the string-spec parsers shared by the API and the CLI."""
+
+import pytest
+
+from repro.exceptions import QueryError, RankingError
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+from repro.query.parser import parse_atom, parse_join_query, parse_ranking
+from repro.ranking.lex import LexRanking
+from repro.ranking.minmax import MaxRanking, MinRanking
+from repro.ranking.sum import SumRanking
+
+
+class TestParseAtom:
+    def test_basic(self):
+        assert parse_atom("R(x, y)") == Atom("R", ("x", "y"))
+
+    def test_whitespace_tolerant(self):
+        assert parse_atom("  S ( a ,  b )  ") == Atom("S", ("a", "b"))
+
+    def test_unary(self):
+        assert parse_atom("T(z)") == Atom("T", ("z",))
+
+    def test_non_identifier_variable_names_allowed(self):
+        # CSV headers such as "price-usd" are legal variable names; only
+        # whitespace inside a name (a missing comma) is rejected.
+        assert parse_atom("R(price-usd, cat.id)") == Atom("R", ("price-usd", "cat.id"))
+
+    @pytest.mark.parametrize("text", ["not an atom", "R()", "R(x,)", "R(x y)", "(x)"])
+    def test_malformed(self, text):
+        with pytest.raises(QueryError):
+            parse_atom(text)
+
+
+class TestParseJoinQuery:
+    def test_round_trip(self):
+        query = JoinQuery.parse("R(x1, x2), S(x2, x3)")
+        assert query == JoinQuery(
+            [Atom("R", ("x1", "x2")), Atom("S", ("x2", "x3"))]
+        )
+        # repr-style round trip: parsing the printed atoms gives the query back.
+        spec = ", ".join(str(atom) for atom in query.atoms)
+        assert JoinQuery.parse(spec) == query
+
+    def test_single_atom(self):
+        assert len(JoinQuery.parse("R(x, y)")) == 1
+
+    def test_self_join_and_repeated_variables(self):
+        query = JoinQuery.parse("E(x, y), E(y, x)")
+        assert query.relation_names == ["E", "E"]
+        assert not query.is_self_join_free
+        assert JoinQuery.parse("R(x, x)")[0].has_repeated_variables
+
+    def test_parse_join_query_function_matches_classmethod(self):
+        assert parse_join_query("R(x, y)") == JoinQuery.parse("R(x, y)")
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "   ", "R(x, y),", "R(x, y) S(y, z)", "R(x, y), , S(y, z)", "garbage"],
+    )
+    def test_malformed_specs(self, spec):
+        with pytest.raises(QueryError):
+            JoinQuery.parse(spec)
+
+    def test_error_message_names_position(self):
+        with pytest.raises(QueryError, match="position"):
+            JoinQuery.parse("R(x, y) oops")
+
+    def test_trailing_comma_message(self):
+        with pytest.raises(QueryError, match="trailing comma"):
+            JoinQuery.parse("R(x, y), ")
+
+
+class TestParseRanking:
+    @pytest.mark.parametrize(
+        "spec, cls, variables",
+        [
+            ("sum(x1, x3)", SumRanking, ("x1", "x3")),
+            ("min(x)", MinRanking, ("x",)),
+            ("max(a, b, c)", MaxRanking, ("a", "b", "c")),
+            ("lex(x3, x1)", LexRanking, ("x3", "x1")),
+        ],
+    )
+    def test_kinds(self, spec, cls, variables):
+        ranking = parse_ranking(spec)
+        assert isinstance(ranking, cls)
+        assert ranking.weighted_variables == variables
+
+    def test_case_insensitive(self):
+        assert isinstance(parse_ranking("SUM(x)"), SumRanking)
+
+    def test_round_trip_with_describe(self):
+        ranking = parse_ranking("sum(x1, x3)")
+        assert parse_ranking(ranking.describe().lower()).weighted_variables == (
+            "x1",
+            "x3",
+        )
+
+    @pytest.mark.parametrize("spec", ["", "sum", "sum()", "sum(x,)", "sum(x y)"])
+    def test_malformed(self, spec):
+        with pytest.raises(RankingError):
+            parse_ranking(spec)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(RankingError, match="avg"):
+            parse_ranking("avg(x)")

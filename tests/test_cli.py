@@ -109,3 +109,117 @@ class TestCli:
             "--phi", "0.5",
         ])
         assert code == 2
+
+
+class TestCliNewSurface:
+    def test_query_spec(self, csv_database, capsys):
+        code = main([
+            "--data", str(csv_database),
+            "--query", "R(x1, x2), S(x2, x3)",
+            "--ranking", "sum(x1, x3)",
+            "--phi", "0.5", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["phi"] == 0.5
+        assert set(payload["assignment"]) == {"x1", "x2", "x3"}
+
+    def test_query_and_atom_both_rejected(self, csv_database):
+        with pytest.raises(SystemExit):
+            main([
+                "--data", str(csv_database),
+                "--query", "R(x1, x2)",
+                "--atom", "S(x2, x3)",
+                "--weights", "x1", "--phi", "0.5",
+            ])
+
+    def test_ranking_spec_with_weights_rejected(self, csv_database):
+        with pytest.raises(SystemExit):
+            main([
+                "--data", str(csv_database),
+                "--query", "R(x1, x2), S(x2, x3)",
+                "--ranking", "sum(x1)", "--weights", "x1", "--phi", "0.5",
+            ])
+
+    def test_comma_separated_phis_emit_json_list(self, csv_database, capsys):
+        code = main([
+            "--data", str(csv_database),
+            "--query", "R(x1, x2), S(x2, x3)",
+            "--ranking", "sum(x1, x3)",
+            "--phi", "0.1,0.5,0.9", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 3
+        assert [record["phi"] for record in payload] == [0.1, 0.5, 0.9]
+        weights = [record["weight"] for record in payload]
+        assert weights == sorted(weights)
+
+    def test_repeated_phi_flags(self, csv_database, capsys):
+        code = main([
+            "--data", str(csv_database),
+            "--query", "R(x1, x2), S(x2, x3)",
+            "--ranking", "max(x1, x3)",
+            "--phi", "0.25", "--phi", "0.75", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [record["phi"] for record in payload] == [0.25, 0.75]
+
+    def test_multi_phi_text_output(self, csv_database, capsys):
+        code = main([
+            "--data", str(csv_database),
+            "--query", "R(x1, x2), S(x2, x3)",
+            "--ranking", "sum(x1, x3)",
+            "--phi", "0.25,0.75",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("phi             :") == 2
+
+    def test_single_phi_stays_a_single_record(self, csv_database, capsys):
+        code = main([
+            "--data", str(csv_database),
+            "--query", "R(x1, x2), S(x2, x3)",
+            "--ranking", "sum(x1, x3)",
+            "--phi", "0.5", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, dict)
+
+    def test_invalid_phi_list_rejected(self, csv_database):
+        for bad in ("0.2,,0.4", "0.2,oops", "1.5"):
+            with pytest.raises(SystemExit):
+                main([
+                    "--data", str(csv_database),
+                    "--query", "R(x1, x2), S(x2, x3)",
+                    "--ranking", "sum(x1, x3)",
+                    "--phi", bad,
+                ])
+
+    def test_multi_phi_with_index_rejected(self, csv_database):
+        with pytest.raises(SystemExit):
+            main([
+                "--data", str(csv_database),
+                "--query", "R(x1, x2), S(x2, x3)",
+                "--ranking", "sum(x1, x3)",
+                "--phi", "0.25,0.75", "--index", "3",
+            ])
+
+    def test_count_only_needs_no_ranking(self, csv_database, capsys):
+        code = main([
+            "--data", str(csv_database),
+            "--query", "R(x1, x2), S(x2, x3)",
+            "--count-only", "--json",
+        ])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["answers"] > 0
+
+    def test_bad_query_spec_rejected(self, csv_database):
+        with pytest.raises(SystemExit):
+            main([
+                "--data", str(csv_database),
+                "--query", "R(x1, x2) garbage",
+                "--ranking", "sum(x1)", "--phi", "0.5",
+            ])
