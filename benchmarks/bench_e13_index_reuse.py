@@ -1,0 +1,83 @@
+"""E13 — columnar index/tree reuse: cold vs warm (index-reuse) runs.
+
+Benchmarks a 19-φ quantile batch answered through one prepared query (warm:
+the tree cache, per-relation index catalogs, and pivot cache are shared
+across all φ values and pivot iterations) against the same batch answered by
+a fresh prepared query per φ (cold: every call rebuilds the physical
+structures).  The acceptance bar of the columnar storage / index-catalog
+layer is a >= 1.5x warm speedup on the path workload; the star workload is
+reported alongside.
+
+The measured table is also written as machine-readable ``BENCH_e13.json``
+(shared helper in :mod:`repro.bench.reporting`), which CI uploads as a
+workflow artifact to track the performance trajectory across PRs.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_e13
+from repro.bench.reporting import write_json_report
+from repro.engine import Engine
+from repro.ranking.sum import SumRanking
+from repro.workloads.path import path_workload
+
+NUM_PHIS = 19
+PHIS = [(i + 1) / (NUM_PHIS + 1) for i in range(NUM_PHIS)]
+N = 800
+
+
+@pytest.fixture(scope="module")
+def e13_workload():
+    return path_workload(
+        3,
+        N,
+        join_domain=max(2, N // 20),
+        ranking=SumRanking(["x1", "x2", "x3"]),
+        seed=23 + N,
+    )
+
+
+def run_cold(workload):
+    return [
+        Engine(workload.db, memoize=False)
+        .prepare(workload.query, workload.ranking)
+        .quantile(phi)
+        for phi in PHIS
+    ]
+
+
+def run_warm(workload):
+    prepared = Engine(workload.db).prepare(workload.query, workload.ranking)
+    return prepared.quantiles(PHIS)
+
+
+def test_cold_rebuilds_structures(benchmark, e13_workload):
+    results = benchmark.pedantic(lambda: run_cold(e13_workload), rounds=1, iterations=1)
+
+    assert len(results) == NUM_PHIS
+    assert all(result.exact for result in results)
+    benchmark.extra_info["phis"] = NUM_PHIS
+
+
+def test_warm_reuses_structures(benchmark, e13_workload):
+    results = benchmark.pedantic(lambda: run_warm(e13_workload), rounds=1, iterations=1)
+
+    assert [r.weight for r in results] == [r.weight for r in run_cold(e13_workload)]
+    benchmark.extra_info["phis"] = NUM_PHIS
+
+
+def test_speedup_acceptance_and_json_report():
+    """Warm must beat cold by >= 1.5x on the path workload; the full table
+    (path + star) is emitted as BENCH_e13.json in the current working
+    directory (CI runs from the repo root and uploads it as an artifact)."""
+    result = run_e13(sizes=(N,), num_phis=NUM_PHIS)
+    target = write_json_report(result)
+
+    assert target.name == "BENCH_e13.json"
+    path_rows = [row for row in result.rows if row["workload"] == "path"]
+    assert path_rows, "E13 produced no path-workload rows"
+    for row in path_rows:
+        assert row["speedup"] >= 1.5, (
+            f"warm (index-reuse) run is only {row['speedup']}x faster than "
+            f"cold on the path workload (n={row['n']}); acceptance needs 1.5x"
+        )

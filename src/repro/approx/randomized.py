@@ -52,6 +52,7 @@ def sampling_quantile(
     epsilon: float,
     delta: float = 0.05,
     seed: int | random.Random | None = None,
+    tree=None,
 ) -> SamplingQuantileResult:
     """Return a (φ ± ε)-quantile with probability at least ``1 − δ``.
 
@@ -65,6 +66,10 @@ def sampling_quantile(
         Allowed failure probability.
     seed:
         Seed or :class:`random.Random` for reproducibility.
+    tree:
+        Optionally, a pre-built materialized tree for (query, db); the
+        direct-access structure is then built over it instead of
+        re-materializing the atoms.
     """
     if not 0 <= phi <= 1:
         raise ValueError(f"phi must be in [0, 1], got {phi}")
@@ -72,7 +77,7 @@ def sampling_quantile(
         raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
     if not 0 < delta < 1:
         raise ValueError(f"delta must be in (0, 1), got {delta}")
-    sampler = AnswerSampler(query, db, seed=seed)
+    sampler = AnswerSampler(query, db, seed=seed, tree=tree)
     sample_size = max(1, math.ceil(math.log(4.0 / delta) / (2.0 * epsilon * epsilon)))
     repetitions = max(1, math.ceil(math.log(2.0 / delta)))
 

@@ -10,7 +10,7 @@ import argparse
 import sys
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
-from repro.bench.reporting import print_result
+from repro.bench.reporting import print_result, write_json_report
 
 #: Scaled-down parameter overrides used by --quick.
 QUICK_OVERRIDES: dict[str, dict] = {
@@ -27,6 +27,7 @@ QUICK_OVERRIDES: dict[str, dict] = {
     "E10": {"fanouts": (2, 10, 20), "n": 400},
     "E11": {"multiset_size": 5000},
     "E12": {"sizes": (400,), "num_phis": 9},
+    "E13": {"sizes": (600,), "num_phis": 19},
     "A1": {"n": 100},
     "A2": {"n": 400},
     "A3": {"phis": (0.1, 0.5, 0.9), "n": 300},
@@ -50,7 +51,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="additionally write each result as machine-readable "
+        "BENCH_<id>.json into DIR (tracked as a CI artifact)",
+    )
     args = parser.parse_args(argv)
+    if args.json is not None:
+        from pathlib import Path
+
+        Path(args.json).mkdir(parents=True, exist_ok=True)
 
     if args.list:
         for identifier, (_, description) in EXPERIMENTS.items():
@@ -64,6 +76,9 @@ def main(argv: list[str] | None = None) -> int:
             overrides = QUICK_OVERRIDES["E1b"]
         result = run_experiment(identifier, **overrides)
         print_result(result)
+        if args.json is not None:
+            target = write_json_report(result, args.json)
+            print(f"wrote {target}")
     return 0
 
 

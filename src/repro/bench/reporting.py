@@ -1,6 +1,17 @@
-"""Plain-text rendering of experiment tables."""
+"""Rendering of experiment tables: plain text and machine-readable JSON.
+
+The JSON form (``BENCH_<id>.json``, written by :func:`write_json_report`) is
+what tracks the performance trajectory across PRs: CI uploads it as a
+workflow artifact, so successive runs of the same experiment can be diffed
+without scraping the text tables.
+"""
 
 from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
 
 from repro.bench.harness import ExperimentResult
 
@@ -42,3 +53,53 @@ def print_result(result: ExperimentResult) -> None:
     """Print one experiment table to stdout."""
     print(format_table(result))
     print()
+
+
+# ---------------------------------------------------------------------- #
+# Machine-readable reports
+# ---------------------------------------------------------------------- #
+def result_to_dict(result: ExperimentResult) -> dict:
+    """One experiment result as a JSON-serializable dictionary."""
+    return {
+        "experiment": result.experiment,
+        "title": result.title,
+        "claim": result.claim,
+        "columns": list(result.columns),
+        "rows": [dict(row) for row in result.rows],
+        "notes": list(result.notes),
+        "environment": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+    }
+
+
+def json_report_path(result: ExperimentResult, directory: str | Path = ".") -> Path:
+    """Canonical report file name for one experiment (``BENCH_<id>.json``)."""
+    return Path(directory) / f"BENCH_{result.experiment.lower()}.json"
+
+
+def write_json_report(
+    result: ExperimentResult, path: str | Path | None = None
+) -> Path:
+    """Write one experiment result as JSON and return the file path.
+
+    ``path`` may be a target ``*.json`` file, a directory (created if
+    needed; the canonical ``BENCH_<id>.json`` name is appended), or ``None``
+    (canonical name in the current directory).  The dir-vs-file decision is
+    by suffix, not filesystem state, so a not-yet-existing directory is
+    never mistaken for a file.
+    """
+    if path is None:
+        target = json_report_path(result)
+    else:
+        path = Path(path)
+        if path.suffix.lower() == ".json":
+            target = path
+            target.parent.mkdir(parents=True, exist_ok=True)
+        else:
+            path.mkdir(parents=True, exist_ok=True)
+            target = json_report_path(result, path)
+    target.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=False))
+    return target

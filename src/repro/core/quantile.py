@@ -26,6 +26,7 @@ from typing import Any, MutableMapping
 from repro.data.database import Database
 from repro.exceptions import EmptyResultError, SolverError
 from repro.joins.counting import count_answers
+from repro.joins.tree_cache import TreeCache
 from repro.joins.yannakakis import evaluate
 from repro.core.result import IterationStats, QuantileResult
 from repro.pivot.pivot_selection import select_pivot
@@ -105,6 +106,7 @@ def pivoting_quantile(
     total: int | None = None,
     pivot_cache: MutableMapping[WeightInterval, PivotStep] | None = None,
     answer_cache: MutableMapping[WeightInterval, list] | None = None,
+    tree_cache: TreeCache | None = None,
 ) -> QuantileResult:
     """Run Algorithm 1 and return the requested (approximate) quantile.
 
@@ -135,15 +137,26 @@ def pivoting_quantile(
         Mutable mapping from terminal candidate interval to the sorted list
         of materialized answers, sharing the final materialize-and-select
         step across calls that end in the same interval.
+    tree_cache:
+        Shared :class:`~repro.joins.tree_cache.TreeCache` so pivot
+        selection, partition counting, and terminal materialization reuse
+        one materialized tree per (query, database) pair instead of each
+        rebuilding it.
     """
     if (phi is None) == (index is None):
         raise ValueError("exactly one of phi and index must be provided")
     ranking.validate_for(query.variables)
     original_variables = set(query.variables)
     base_query, base_db = ensure_canonical(query, db)
+    if tree_cache is None:
+        # Even a one-shot call profits: the tree of each candidate pair is
+        # shared between its counting pass and the next pivot selection.
+        tree_cache = TreeCache()
 
     if total is None:
-        total = count_answers(base_query, base_db)
+        total = count_answers(
+            base_query, base_db, tree=tree_cache.get(base_query, base_db)
+        )
     if total == 0:
         raise EmptyResultError("the query has no answers, so no quantile exists")
     if index is not None:
@@ -168,7 +181,12 @@ def pivoting_quantile(
     while current_count > termination_size:
         step = pivot_cache.get(interval) if pivot_cache is not None else None
         if step is None:
-            pivot = select_pivot(current_query, current_db, ranking)
+            pivot = select_pivot(
+                current_query,
+                current_db,
+                ranking,
+                tree=tree_cache.get(current_query, current_db),
+            )
             # Trims always restart from the (canonical, possibly semijoin-
             # reduced) base: re-applying a trimmer to its own output would
             # compound the copy factors of the segment/partition
@@ -185,10 +203,14 @@ def pivoting_quantile(
                 pivot_c=pivot.c,
                 lt_query=lt.query,
                 lt_db=lt.database,
-                count_lt=count_answers(lt.query, lt.database),
+                count_lt=count_answers(
+                    lt.query, lt.database, tree=tree_cache.get(lt.query, lt.database)
+                ),
                 gt_query=gt.query,
                 gt_db=gt.database,
-                count_gt=count_answers(gt.query, gt.database),
+                count_gt=count_answers(
+                    gt.query, gt.database, tree=tree_cache.get(gt.query, gt.database)
+                ),
             )
             if pivot_cache is not None:
                 pivot_cache[interval] = step
@@ -265,7 +287,11 @@ def pivoting_quantile(
     # the evaluate-and-sort once).
     answers = answer_cache.get(interval) if answer_cache is not None else None
     if answers is None:
-        answers = evaluate(current_query, current_db)
+        answers = evaluate(
+            current_query,
+            current_db,
+            tree=tree_cache.get(current_query, current_db),
+        )
         if not answers:
             raise SolverError("no candidate answers remained to materialize")
         answers.sort(key=ranking.weight_of)

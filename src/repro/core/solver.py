@@ -37,6 +37,8 @@ from repro.ranking.base import RankingFunction
 __all__ = [
     "STRATEGIES",
     "SolverPlan",
+    "Engine",
+    "PreparedQuery",
     "QuantileSolver",
     "quantile",
     "selection",

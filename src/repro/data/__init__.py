@@ -1,6 +1,9 @@
-"""In-memory relational data substrate: relations and databases."""
+"""In-memory relational data substrate: relations, databases, and the
+columnar storage / index layer backing them."""
 
+from repro.data.columns import ColumnStore
 from repro.data.database import Database
+from repro.data.indexes import IndexCatalog
 from repro.data.relation import Relation
 
-__all__ = ["Relation", "Database"]
+__all__ = ["Relation", "Database", "ColumnStore", "IndexCatalog"]

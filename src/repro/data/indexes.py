@@ -1,0 +1,205 @@
+"""Per-relation index catalog: memoized hash indexes and sort orders.
+
+Every :class:`~repro.data.relation.Relation` lazily owns an
+:class:`IndexCatalog`.  The catalog memoizes the physical access structures
+the join stack keeps rebuilding:
+
+* **hash indexes** keyed by an attribute subset — ``{key: [row positions]}``
+  — serving :meth:`Relation.group_by`, :meth:`Relation.semijoin`, and
+  :meth:`Relation.natural_join`;
+* **key sets** (the distinct key tuples of a hash index), serving the probe
+  side of semijoins and :meth:`Relation.__contains__`;
+* **weight orders** — row positions sorted by a caller-supplied key function,
+  memoized under a caller-supplied hashable tag (which should embed the
+  identifying objects themselves, never their ``id()``) — serving the
+  trimmers' per-group sorts.
+
+Indexes are invalidated wholesale when the relation mutates
+(:meth:`Relation.add` drops the catalog), so a stale index can never be
+served.  For relations that are row-subset views of a parent relation (the
+result of ``filter``/``semijoin`` masking), weight orders are *derived* from
+the parent's order by filtering — an O(n) pass with no comparisons — instead
+of re-sorting, which is what lets repeated trims of the same base relation
+across pivot iterations and φ values skip the O(n log n) sort entirely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Sequence
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.relation import Relation
+
+Value = Any
+Row = tuple[Value, ...]
+Key = tuple[Value, ...]
+
+
+class IndexCatalog:
+    """Memoized physical access structures of one relation.
+
+    Obtained via :attr:`Relation.indexes`; never outlives a mutation of the
+    relation (the relation drops the whole catalog on :meth:`Relation.add`).
+    """
+
+    __slots__ = ("relation", "_hash_indexes", "_key_sets", "_orders", "hits", "misses")
+
+    def __init__(self, relation: "Relation") -> None:
+        self.relation = relation
+        self._hash_indexes: dict[tuple[str, ...], dict[Key, list[int]]] = {}
+        self._key_sets: dict[tuple[str, ...], set[Key]] = {}
+        self._orders: dict[Hashable, list[int]] = {}
+        #: Cache statistics (reads by benchmarks and tests).
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Hash indexes
+    # ------------------------------------------------------------------ #
+    def hash_index(self, attributes: Sequence[str]) -> dict[Key, list[int]]:
+        """``{key tuple: [row positions]}`` grouped by ``attributes``.
+
+        Positions within each group are in row order.  An empty attribute
+        sequence yields a single group keyed by ``()``.
+        """
+        signature = tuple(attributes)
+        index = self._hash_indexes.get(signature)
+        if index is not None:
+            self.hits += 1
+            return index
+        self.misses += 1
+        relation = self.relation
+        index = {}
+        if not signature:
+            if len(relation):
+                index[()] = list(range(len(relation)))
+        elif len(signature) == 1:
+            column = relation.column(signature[0])
+            for position, value in enumerate(column):
+                index.setdefault((value,), []).append(position)
+        else:
+            columns = [relation.column(a) for a in signature]
+            for position, key in enumerate(zip(*columns)):
+                index.setdefault(key, []).append(position)
+        self._hash_indexes[signature] = index
+        return index
+
+    def key_set(self, attributes: Sequence[str]) -> set[Key]:
+        """The distinct key tuples of ``attributes`` (memoized)."""
+        signature = tuple(attributes)
+        keys = self._key_sets.get(signature)
+        if keys is not None:
+            self.hits += 1
+            return keys
+        existing = self._hash_indexes.get(signature)
+        if existing is not None:
+            self.hits += 1  # served from the already-built hash index
+            keys = set(existing)
+        else:
+            self.misses += 1
+            if not signature:
+                keys = {()} if len(self.relation) else set()
+            elif len(signature) == 1:
+                keys = {(value,) for value in self.relation.column(signature[0])}
+            else:
+                columns = [self.relation.column(a) for a in signature]
+                keys = set(zip(*columns))
+        self._key_sets[signature] = keys
+        return keys
+
+    def contains_row(self, row: Row) -> bool:
+        """Membership test backed by the full-schema key set."""
+        if len(row) != self.relation.arity:
+            return False
+        return row in self.key_set(self.relation.schema)
+
+    # ------------------------------------------------------------------ #
+    # Sort orders
+    # ------------------------------------------------------------------ #
+    def weight_values(self, tag: Hashable, key: Callable[[Row], Any]) -> list:
+        """``key(row)`` per row position, memoized under ``tag``.
+
+        ``tag`` must uniquely identify the semantics of ``key`` for this
+        relation — callers typically use ``(ranking, atom variables, owned
+        variables)``.  Embed identifying *objects* (identity hash), never
+        their ``id()``: the memo table holds the tag, so the objects stay
+        alive and their ids cannot be recycled into stale hits.  When the
+        relation is a row-subset view of a parent relation, the parent's
+        memoized values are filtered through the survivor positions instead
+        of re-applying ``key``.
+        """
+        signature: Hashable = ("__values__", tag)
+        values = self._orders.get(signature)
+        if values is not None:
+            self.hits += 1
+            return values
+        self.misses += 1
+        relation = self.relation
+        derived = relation.parent_view()
+        if derived is not None:
+            parent, positions = derived
+            parent_values = parent.indexes.weight_values(tag, key)
+            values = [parent_values[p] for p in positions]
+        else:
+            values = [key(row) for row in relation.rows]
+        self._orders[signature] = values
+        return values
+
+    def weight_order(self, tag: Hashable, key: Callable[[Row], Any]) -> list[int]:
+        """Row positions sorted by ``key(row)``, memoized under ``tag``.
+
+        When the relation is a row-subset view of a parent relation, the
+        parent's memoized order for the same tag is filtered instead of
+        re-sorting, which is what lets repeated trims of the same base
+        relation across pivot iterations and φ values skip the O(n log n)
+        sort entirely.
+        """
+        signature: Hashable = ("__order__", tag)
+        order = self._orders.get(signature)
+        if order is not None:
+            self.hits += 1
+            return order
+        self.misses += 1
+        relation = self.relation
+        derived = relation.parent_view()
+        if derived is not None:
+            parent, positions = derived
+            parent_order = parent.indexes.weight_order(tag, key)
+            position_to_own = {p: i for i, p in enumerate(positions)}
+            order = [
+                position_to_own[p] for p in parent_order if p in position_to_own
+            ]
+        else:
+            values = self.weight_values(tag, key)
+            order = sorted(range(len(values)), key=values.__getitem__)
+        self._orders[signature] = order
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Generic derived structures
+    # ------------------------------------------------------------------ #
+    def memo(self, tag: Hashable, compute: Callable[[], Any]) -> Any:
+        """Memoize an arbitrary structure derived from the relation's rows.
+
+        Used by trimmers to cache interval-independent constructions (e.g.
+        the segment-annotated group side of the SUM trimming) that would
+        otherwise be rebuilt on every pivot iteration.  Like every other
+        index, the memo dies with the catalog when the relation mutates.
+        """
+        signature: Hashable = ("__memo__", tag)
+        if signature in self._orders:
+            self.hits += 1
+            return self._orders[signature]
+        self.misses += 1
+        value = compute()
+        self._orders[signature] = value
+        return value
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IndexCatalog({self.relation.name!r}, "
+            f"{len(self._hash_indexes)} hash, {len(self._orders)} orders, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

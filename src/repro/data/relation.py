@@ -1,10 +1,15 @@
 """Relations: named, schema'd collections of tuples.
 
 A :class:`Relation` is the basic storage unit of the database substrate
-(system S1 in DESIGN.md).  It is deliberately simple — an immutable-ish list
-of plain Python tuples plus a schema of attribute names — because the paper's
-algorithms only need scanning, filtering, grouping, and projection, all in
-time linear in the number of tuples.
+(system S1 in DESIGN.md).  Its logical model is unchanged — a named sequence
+of same-arity tuples plus a schema of attribute names — but the physical
+data now lives in a :class:`~repro.data.columns.ColumnStore`: per-column
+arrays with zero-copy masked views, so ``filter``/``semijoin``/``project``
+/``rename`` share the parent's storage instead of copying rows.  Each
+relation also lazily owns an :class:`~repro.data.indexes.IndexCatalog` of
+memoized hash indexes and sort orders (dropped wholesale on mutation), which
+``semijoin``, ``group_by``, ``natural_join``, and ``__contains__`` consult
+instead of rebuilding their structures per call.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any
 
+from repro.data.columns import ColumnStore
+from repro.data.indexes import IndexCatalog
 from repro.exceptions import SchemaError
 
 Value = Any
@@ -44,7 +51,7 @@ class Relation:
     [2, 4]
     """
 
-    __slots__ = ("name", "schema", "rows", "_index_of")
+    __slots__ = ("name", "schema", "_index_of", "_store", "_catalog", "_parent", "_version")
 
     def __init__(self, name: str, schema: Sequence[str], rows: Iterable[Row] = ()) -> None:
         self.name = name
@@ -63,7 +70,75 @@ class Relation:
                     f"expects arity {len(self.schema)}"
                 )
             materialized.append(row)
-        self.rows: list[Row] = materialized
+        self._store = ColumnStore.from_rows(len(self.schema), materialized)
+        self._catalog: IndexCatalog | None = None
+        self._parent: tuple["Relation", Sequence[int]] | None = None
+        self._version = 0
+
+    # ------------------------------------------------------------------ #
+    # Internal constructors (trusted storage, no per-row validation)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls, name: str, schema: Sequence[str], store: ColumnStore
+    ) -> "Relation":
+        """Build a relation directly over a :class:`ColumnStore`."""
+        relation = cls(name, schema, ())
+        if store.arity != len(relation.schema):
+            raise SchemaError(
+                f"store of arity {store.arity} cannot back relation {name!r} "
+                f"with schema {relation.schema}"
+            )
+        relation._store = store
+        return relation
+
+    def select_rows(self, positions: Sequence[int], name: str | None = None) -> "Relation":
+        """Same-schema view keeping the rows at ``positions`` (a mask).
+
+        The view shares this relation's column storage and remembers its
+        parent, so derived indexes (sort orders) can be filtered from the
+        parent's catalog instead of rebuilt.
+        """
+        view = Relation.from_store(
+            name or self.name, self.schema, self._store.select(positions)
+        )
+        view._parent = (self, positions)
+        return view
+
+    def parent_view(self) -> tuple["Relation", Sequence[int]] | None:
+        """The (parent relation, surviving positions) pair if this relation is
+        an unmutated row-subset view of another relation, else ``None``."""
+        if self._parent is None:
+            return None
+        parent, positions = self._parent
+        if self._version or len(positions) != len(self):
+            return None
+        return parent, positions
+
+    # ------------------------------------------------------------------ #
+    # Physical accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> list[Row]:
+        """The rows as a list of tuples (materialized lazily, then cached)."""
+        return self._store.rows()
+
+    @property
+    def store(self) -> ColumnStore:
+        """The columnar backing store (shared with views of this relation)."""
+        return self._store
+
+    @property
+    def indexes(self) -> IndexCatalog:
+        """The memoized index catalog (created lazily, dropped on mutation)."""
+        if self._catalog is None:
+            self._catalog = IndexCatalog(self)
+        return self._catalog
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every :meth:`add`."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Basic container protocol
@@ -74,13 +149,13 @@ class Relation:
         return len(self.schema)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows)
+        return iter(self._store.rows())
 
     def __contains__(self, row: Row) -> bool:
-        return tuple(row) in set(self.rows)
+        return self.indexes.contains_row(tuple(row))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
@@ -92,10 +167,10 @@ class Relation:
         )
 
     def __hash__(self) -> int:  # pragma: no cover - relations are not hashed in hot paths
-        return hash((self.name, self.schema, len(self.rows)))
+        return hash((self.name, self.schema, len(self)))
 
     def __repr__(self) -> str:
-        return f"Relation({self.name!r}, {self.schema!r}, {len(self.rows)} rows)"
+        return f"Relation({self.name!r}, {self.schema!r}, {len(self)} rows)"
 
     # ------------------------------------------------------------------ #
     # Schema helpers
@@ -123,61 +198,72 @@ class Relation:
         return row[self.position(attribute)]
 
     def column(self, attribute: str) -> list[Value]:
-        """Return all values of one column, in row order."""
-        pos = self.position(attribute)
-        return [row[pos] for row in self.rows]
+        """All values of one column, in row order.
+
+        The returned list is the store's cached column array — treat it as
+        read-only.
+        """
+        return self._store.column(self.position(attribute))
 
     # ------------------------------------------------------------------ #
     # Relational operations (all linear time)
     # ------------------------------------------------------------------ #
     def add(self, row: Row) -> None:
-        """Append a tuple, validating its arity."""
+        """Append a tuple, validating its arity.
+
+        Mutation invalidates the index catalog (stale indexes are never
+        served) and detaches the relation from any parent view linkage.
+        """
         row = tuple(row)
         if len(row) != len(self.schema):
             raise SchemaError(
                 f"tuple {row!r} has arity {len(row)}, but relation {self.name!r} "
                 f"expects arity {len(self.schema)}"
             )
-        self.rows.append(row)
+        self._store.append(row)
+        self._version += 1
+        self._catalog = None
 
     def filter(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Relation":
-        """Return a new relation with the rows satisfying ``predicate``."""
-        return Relation(name or self.name, self.schema, [r for r in self.rows if predicate(r)])
+        """Return a masked view with the rows satisfying ``predicate``."""
+        rows = self._store.rows()
+        return self.select_rows(
+            [i for i, row in enumerate(rows) if predicate(row)], name
+        )
 
     def filter_attribute(
         self, attribute: str, predicate: Callable[[Value], bool], name: str | None = None
     ) -> "Relation":
-        """Return a new relation keeping rows where ``predicate(value)`` holds
+        """Return a masked view keeping rows where ``predicate(value)`` holds
         for the value of ``attribute``."""
-        pos = self.position(attribute)
-        return Relation(
-            name or self.name, self.schema, [r for r in self.rows if predicate(r[pos])]
+        column = self.column(attribute)
+        return self.select_rows(
+            [i for i, value in enumerate(column) if predicate(value)], name
         )
 
     def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
-        """Project onto ``attributes`` (duplicates are preserved)."""
+        """Project onto ``attributes`` (duplicates are preserved).
+
+        Column storage is shared with the parent relation (zero-copy).
+        """
         positions = [self.position(a) for a in attributes]
-        return Relation(
-            name or self.name,
-            tuple(attributes),
-            [tuple(row[p] for p in positions) for row in self.rows],
+        return Relation.from_store(
+            name or self.name, tuple(attributes), self._store.project(positions)
         )
 
     def distinct(self, name: str | None = None) -> "Relation":
-        """Return a duplicate-free copy (order of first occurrence preserved)."""
+        """Return a duplicate-free view (order of first occurrence preserved)."""
         seen: set[Row] = set()
-        rows: list[Row] = []
-        for row in self.rows:
+        positions: list[int] = []
+        for index, row in enumerate(self._store.rows()):
             if row not in seen:
                 seen.add(row)
-                rows.append(row)
-        return Relation(name or self.name, self.schema, rows)
+                positions.append(index)
+        return self.select_rows(positions, name)
 
     def rename(self, name: str) -> "Relation":
-        """Return a copy of the relation under a new name (rows shared)."""
-        clone = Relation(name, self.schema, ())
-        clone.rows = list(self.rows)
-        return clone
+        """Return a copy of the relation under a new name (storage shared)."""
+        return Relation.from_store(name, self.schema, self._store.snapshot())
 
     def with_schema(self, schema: Sequence[str], name: str | None = None) -> "Relation":
         """Return a copy with columns relabeled (arity must match)."""
@@ -186,9 +272,7 @@ class Relation:
                 f"cannot relabel relation {self.name!r} of arity {len(self.schema)} "
                 f"with schema of arity {len(schema)}"
             )
-        clone = Relation(name or self.name, schema, ())
-        clone.rows = list(self.rows)
-        return clone
+        return Relation.from_store(name or self.name, schema, self._store.snapshot())
 
     def extend(
         self,
@@ -201,10 +285,11 @@ class Relation:
             raise SchemaError(
                 f"relation {self.name!r} already has an attribute {attribute!r}"
             )
-        return Relation(
+        new_column = [values(row) for row in self._store.rows()]
+        return Relation.from_store(
             name or self.name,
             self.schema + (attribute,),
-            [row + (values(row),) for row in self.rows],
+            self._store.snapshot().with_column(new_column),
         )
 
     def group_by(self, attributes: Sequence[str]) -> dict[Row, list[Row]]:
@@ -213,52 +298,60 @@ class Relation:
         Returns a dict mapping each distinct key (tuple of values, in the
         order of ``attributes``) to the list of rows in that group.  An empty
         ``attributes`` sequence returns a single group keyed by ``()``.
+        Backed by the memoized hash index of the catalog.
         """
-        positions = [self.position(a) for a in attributes]
-        groups: dict[Row, list[Row]] = {}
-        for row in self.rows:
-            key = tuple(row[p] for p in positions)
-            groups.setdefault(key, []).append(row)
-        return groups
+        rows = self._store.rows()
+        return {
+            key: [rows[i] for i in indices]
+            for key, indices in self.indexes.hash_index(attributes).items()
+        }
 
     def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
         """Semi-join: keep rows that agree with at least one row of ``other``
         on the shared attributes.  If there are no shared attributes and
-        ``other`` is non-empty, all rows are kept (Cartesian semantics)."""
+        ``other`` is non-empty, all rows are kept (Cartesian semantics).
+
+        Returns a masked view; both sides' hash structures are memoized in
+        their index catalogs.
+        """
         shared = [a for a in self.schema if other.has_attribute(a)]
         if not shared:
-            rows = list(self.rows) if len(other) else []
-            return Relation(name or self.name, self.schema, rows)
-        other_keys = {
-            tuple(other.value(row, a) for a in shared) for row in other.rows
-        }
-        positions = [self.position(a) for a in shared]
-        return Relation(
-            name or self.name,
-            self.schema,
-            [r for r in self.rows if tuple(r[p] for p in positions) in other_keys],
-        )
+            positions: Sequence[int] = range(len(self)) if len(other) else ()
+            return self.select_rows(positions, name)
+        other_keys = other.indexes.key_set(shared)
+        own_index = self.indexes.hash_index(shared)
+        mask = bytearray(len(self))
+        for key, indices in own_index.items():
+            if key in other_keys:
+                for i in indices:
+                    mask[i] = 1
+        return self.select_rows([i for i, keep in enumerate(mask) if keep], name)
 
     def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
-        """Natural join on shared attribute names (hash join, linear + output)."""
+        """Natural join on shared attribute names (hash join, linear + output).
+
+        The build side's hash index comes from ``other``'s memoized catalog.
+        """
         shared = [a for a in self.schema if other.has_attribute(a)]
         other_extra = [a for a in other.schema if not self.has_attribute(a)]
         out_schema = self.schema + tuple(other_extra)
-        result = Relation(name or f"{self.name}_join_{other.name}", out_schema, ())
-        if not shared:
-            extra_positions = [other.position(a) for a in other_extra]
-            for left in self.rows:
-                for right in other.rows:
-                    result.add(left + tuple(right[p] for p in extra_positions))
-            return result
-        index: dict[Row, list[Row]] = {}
-        other_shared_pos = [other.position(a) for a in shared]
-        for row in other.rows:
-            index.setdefault(tuple(row[p] for p in other_shared_pos), []).append(row)
-        self_shared_pos = [self.position(a) for a in shared]
+        out_rows: list[Row] = []
+        other_rows = other.rows
         extra_positions = [other.position(a) for a in other_extra]
-        for left in self.rows:
-            key = tuple(left[p] for p in self_shared_pos)
-            for right in index.get(key, ()):
-                result.add(left + tuple(right[p] for p in extra_positions))
-        return result
+        if not shared:
+            for left in self.rows:
+                for right in other_rows:
+                    out_rows.append(left + tuple(right[p] for p in extra_positions))
+        else:
+            index = other.indexes.hash_index(shared)
+            self_shared_pos = [self.position(a) for a in shared]
+            for left in self.rows:
+                key = tuple(left[p] for p in self_shared_pos)
+                for right_index in index.get(key, ()):
+                    right = other_rows[right_index]
+                    out_rows.append(left + tuple(right[p] for p in extra_positions))
+        return Relation.from_store(
+            name or f"{self.name}_join_{other.name}",
+            out_schema,
+            ColumnStore.from_rows(len(out_schema), out_rows),
+        )

@@ -42,7 +42,7 @@ from repro.core.result import QuantileResult
 from repro.data.database import Database
 from repro.exceptions import IntractableQueryError, RankingError, SolverError
 from repro.joins.counting import count_from_tree
-from repro.joins.message_passing import MaterializedTree
+from repro.joins.tree_cache import TreeCache
 from repro.joins.yannakakis import full_reduce
 from repro.query.classify import (
     SumClassification,
@@ -194,6 +194,10 @@ class PreparedQuery:
             if pivot_cache_limit > 0
             else None
         )
+        # One materialized tree per (query, database) pair, shared by
+        # counting, reduction, pivot selection, and terminal enumeration
+        # across all executions of this prepared query.
+        self._tree_cache = TreeCache()
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -314,14 +318,17 @@ class PreparedQuery:
         """Canonical query over the fully semijoin-reduced database."""
         canonical_query, canonical_db = self._ensure_canonical()
         if self._reduced_db is None:
-            self._reduced_db = full_reduce(canonical_query, canonical_db)
+            tree = self._tree_cache.get(
+                canonical_query, canonical_db, rooted=self.join_tree()
+            )
+            self._reduced_db = full_reduce(canonical_query, canonical_db, tree=tree)
         return canonical_query, self._reduced_db
 
     def _ensure_total(self) -> int:
         if self._total is None:
             canonical_query, canonical_db = self._ensure_canonical()
             db = self._reduced_db if self._reduced_db is not None else canonical_db
-            tree = MaterializedTree(canonical_query, db, rooted=self.join_tree())
+            tree = self._tree_cache.get(canonical_query, db, rooted=self.join_tree())
             self._total = count_from_tree(tree)
         return self._total
 
@@ -384,6 +391,7 @@ class PreparedQuery:
                 total=self._ensure_total(),
                 pivot_cache=self._pivot_cache,
                 answer_cache=self._answer_cache,
+                tree_cache=self._tree_cache,
             )
         raise SolverError(f"unhandled strategy {plan.strategy!r}")
 
@@ -418,6 +426,7 @@ class PreparedQuery:
             phi=phi,
             epsilon=self.epsilon,
             seed=self.seed,
+            tree=self._tree_cache.get(canonical_query, canonical_db),
         )
         original = set(self.query.variables)
         assignment = {k: v for k, v in outcome.assignment.items() if k in original}
@@ -439,12 +448,18 @@ class PreparedQuery:
         """Number of memoized pivoting iterations currently held."""
         return len(self._pivot_cache) if self._pivot_cache is not None else 0
 
+    @property
+    def tree_cache(self) -> TreeCache:
+        """The shared materialized-tree cache (one tree per query/db pair)."""
+        return self._tree_cache
+
     def clear_pivot_cache(self) -> None:
         """Drop the memoized pivoting iterations (prepared state is kept)."""
         if self._pivot_cache is not None:
             self._pivot_cache.clear()
         if self._answer_cache is not None:
             self._answer_cache.clear()
+        self._tree_cache.clear()
 
     def __repr__(self) -> str:
         prepared = "prepared" if self._plan is not None else "lazy"

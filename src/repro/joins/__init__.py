@@ -5,10 +5,12 @@ from repro.joins.counting import count_answers
 from repro.joins.direct_access import DirectAccess
 from repro.joins.message_passing import MaterializedTree
 from repro.joins.sampling import AnswerSampler
+from repro.joins.tree_cache import TreeCache
 from repro.joins.yannakakis import evaluate
 
 __all__ = [
     "MaterializedTree",
+    "TreeCache",
     "count_answers",
     "evaluate",
     "AnswerSampler",

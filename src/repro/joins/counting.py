@@ -20,7 +20,13 @@ def subtree_counts(tree: MaterializedTree) -> dict[int, list[int]]:
     Returns a mapping from node (atom index) to a list parallel to the node's
     rows, where entry ``i`` is the number of partial query answers for the
     subtree rooted at row ``i`` (``cnt(t)`` in Example 2.1).
+
+    The result is memoized on the tree itself (callers treat it as
+    read-only), so counting and pivot selection over a shared tree pay for
+    one message-passing pass between them.
     """
+    if tree.counts_cache is not None:
+        return tree.counts_cache
     counts: dict[int, list[int]] = {}
     for node in tree.nodes_bottom_up():
         rows = tree.rows(node)
@@ -38,6 +44,7 @@ def subtree_counts(tree: MaterializedTree) -> dict[int, list[int]]:
                 key = tree.parent_group_key(node, row, child)
                 node_counts[index] *= group_sums.get(key, 0)
         counts[node] = node_counts
+    tree.counts_cache = counts
     return counts
 
 
@@ -47,8 +54,17 @@ def count_from_tree(tree: MaterializedTree) -> int:
     return sum(counts[tree.root])
 
 
-def count_answers(query: JoinQuery, db: Database) -> int:
+def count_answers(
+    query: JoinQuery, db: Database, tree: MaterializedTree | None = None
+) -> int:
     """Count ``|Q(D)|`` for an acyclic query in time linear in the database.
+
+    Parameters
+    ----------
+    tree:
+        Optionally, an already materialized tree for (query, db) — typically
+        obtained from a :class:`~repro.joins.tree_cache.TreeCache` — so the
+        per-atom materialization and join-group hashing are not repeated.
 
     Raises
     ------
@@ -72,4 +88,6 @@ def count_answers(query: JoinQuery, db: Database) -> int:
     >>> count_answers(q, db)
     13
     """
-    return count_from_tree(MaterializedTree(query, db))
+    if tree is None:
+        tree = MaterializedTree(query, db)
+    return count_from_tree(tree)

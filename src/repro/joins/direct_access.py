@@ -37,9 +37,14 @@ class DirectAccess:
     >>> # doctest setup omitted; see tests/joins/test_direct_access.py
     """
 
-    def __init__(self, query: JoinQuery, db: Database) -> None:
+    def __init__(
+        self,
+        query: JoinQuery,
+        db: Database,
+        tree: MaterializedTree | None = None,
+    ) -> None:
         self.query = query
-        self.tree = MaterializedTree(query, db)
+        self.tree = tree if tree is not None else MaterializedTree(query, db)
         self.counts = subtree_counts(self.tree)
         root_counts = self.counts[self.tree.root]
         self._root_prefix = list(accumulate(root_counts, initial=0))

@@ -48,6 +48,10 @@ class MaterializedTree:
     ) -> None:
         self.query = query
         self.db = db
+        #: Memoized per-tuple subtree counts (written by
+        #: :func:`repro.joins.counting.subtree_counts`); consumers sharing a
+        #: tree through the tree cache then also share one counting pass.
+        self.counts_cache: dict[int, list[int]] | None = None
         self.rooted = rooted or build_join_tree(query).rooted()
         if self.rooted.query is not query:
             # Allow structurally identical queries (e.g. reconstructed ones).
@@ -62,10 +66,17 @@ class MaterializedTree:
         # child group indexes: (parent, child) -> {key: [child row indices]}
         self._groups: dict[tuple[int, int], dict[Row, list[int]]] = {}
         self._join_vars: dict[tuple[int, int], tuple[str, ...]] = {}
+        # (parent, child) -> positions of the join variables in the parent's
+        # schema, so per-row key extraction does no schema lookups.
+        self._parent_positions: dict[tuple[int, int], list[int]] = {}
         for parent in self.rooted.top_down_order():
+            parent_vars = self.node_variables[parent]
             for child in self.rooted.children[parent]:
                 join_vars = self.rooted.join_variables(parent, child)
                 self._join_vars[(parent, child)] = join_vars
+                self._parent_positions[(parent, child)] = [
+                    parent_vars.index(v) for v in join_vars
+                ]
                 positions = [self.node_variables[child].index(v) for v in join_vars]
                 groups: dict[Row, list[int]] = {}
                 for index, row in enumerate(self.node_rows[child]):
@@ -118,9 +129,7 @@ class MaterializedTree:
 
     def parent_group_key(self, parent: int, row: Row, child: int) -> Row:
         """The join-group key a parent row selects in one of its children."""
-        variables = self.node_variables[parent]
-        join_vars = self._join_vars[(parent, child)]
-        positions = [variables.index(v) for v in join_vars]
+        positions = self._parent_positions[(parent, child)]
         return tuple(row[p] for p in positions)
 
     def total_rows(self) -> int:

@@ -29,6 +29,9 @@ class AnswerSampler:
     seed:
         Optional seed (or a :class:`random.Random` instance) for
         reproducibility.
+    tree:
+        Optionally, an already materialized tree for (query, db), shared
+        with the other consumers through a tree cache.
 
     Raises
     ------
@@ -41,8 +44,9 @@ class AnswerSampler:
         query: JoinQuery,
         db: Database,
         seed: int | random.Random | None = None,
+        tree=None,
     ) -> None:
-        self.access = DirectAccess(query, db)
+        self.access = DirectAccess(query, db, tree=tree)
         if len(self.access) == 0:
             raise EmptyResultError("cannot sample from a query with no answers")
         if isinstance(seed, random.Random):

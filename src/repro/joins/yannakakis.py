@@ -3,6 +3,12 @@
 Algorithm 1 falls back to materializing the remaining candidate answers once
 their number drops to at most the database size; the classic Yannakakis
 algorithm does this in time linear in input plus output for acyclic queries.
+
+Both entry points accept an optional pre-built
+:class:`~repro.joins.message_passing.MaterializedTree` (typically served by a
+:class:`~repro.joins.tree_cache.TreeCache`), so the per-atom materialization
+and join-group hashing are shared with counting and pivot selection instead
+of being rebuilt here.
 """
 
 from __future__ import annotations
@@ -58,13 +64,16 @@ def _reduced_row_flags(tree: MaterializedTree) -> dict[int, list[bool]]:
     return alive
 
 
-def full_reduce(query: JoinQuery, db: Database) -> Database:
+def full_reduce(
+    query: JoinQuery, db: Database, tree: MaterializedTree | None = None
+) -> Database:
     """Return a copy of the database with all dangling tuples removed.
 
     After reduction every remaining tuple participates in at least one query
     answer (for the materialized per-atom view of the data).
     """
-    tree = MaterializedTree(query, db)
+    if tree is None:
+        tree = MaterializedTree(query, db)
     alive = _reduced_row_flags(tree)
     reduced = Database()
     for node in tree.nodes_top_down():
@@ -73,7 +82,7 @@ def full_reduce(query: JoinQuery, db: Database) -> Database:
         name = atom.relation
         if name in reduced:
             # Self-join: intersect survivors across atom occurrences.
-            existing = set(reduced[name].rows)
+            existing = reduced[name]
             rows = [row for row in rows if row in existing]
             reduced.replace(Relation(name, tree.variables(node), rows))
         else:
@@ -81,50 +90,97 @@ def full_reduce(query: JoinQuery, db: Database) -> Database:
     return reduced
 
 
-def evaluate(query: JoinQuery, db: Database, limit: int | None = None) -> list[Assignment]:
+def evaluate(
+    query: JoinQuery,
+    db: Database,
+    limit: int | None = None,
+    tree: MaterializedTree | None = None,
+) -> list[Assignment]:
     """Materialize the query answers (time linear in input + output).
+
+    The enumeration is iterative — an explicit odometer over the join tree's
+    nodes in top-down order — so arbitrarily deep join trees (e.g. very long
+    path queries) cannot hit Python's recursion limit, and ``limit`` stops
+    the walk as soon as enough answers were produced.
 
     Parameters
     ----------
     limit:
         Optional cap on the number of produced answers (useful to guard
         against accidentally materializing a huge result).
+    tree:
+        Optionally, an already materialized tree for (query, db).
 
     Returns
     -------
     list of assignments (dictionaries from variables to values).
     """
-    tree = MaterializedTree(query, db)
+    if limit is not None and limit <= 0:
+        return []
+    if tree is None:
+        tree = MaterializedTree(query, db)
     alive = _reduced_row_flags(tree)
 
-    def expand(node: int, row: Row) -> list[Assignment]:
-        base = tree.assignment(node, row)
-        results = [base]
-        for child in tree.children(node):
-            groups = tree.child_groups(node, child)
-            key = tree.parent_group_key(node, row, child)
-            child_rows = [
-                i for i in groups.get(key, []) if alive[child][i]
-            ]
-            extended: list[Assignment] = []
-            for partial in results:
-                for child_index in child_rows:
-                    child_assignments = expand(child, tree.rows(child)[child_index])
-                    for extra in child_assignments:
-                        merged = dict(partial)
-                        merged.update(extra)
-                        extended.append(merged)
-            results = extended
-            if not results:
-                break
-        return results
+    # Parents before children: once rows are chosen for positions 0..k-1, the
+    # candidate rows for position k are the alive members of the join group
+    # its parent's chosen row selects.
+    order = tree.nodes_top_down()
+    position_of = {node: position for position, node in enumerate(order)}
+    parent_of: dict[int, int] = {}
+    for parent in order:
+        for child in tree.children(parent):
+            parent_of[child] = parent
+    node_rows = {node: tree.rows(node) for node in order}
+    node_variables = {node: tree.variables(node) for node in order}
+    root = tree.root
+    root_candidates = [
+        index for index in range(len(node_rows[root])) if alive[root][index]
+    ]
+    if not root_candidates:
+        return []
 
     answers: list[Assignment] = []
-    for index, row in enumerate(tree.rows(tree.root)):
-        if not alive[tree.root][index]:
-            continue
-        for assignment in expand(tree.root, row):
+    depth = len(order)
+    # Per position: the candidate row indices and the cursor into them.
+    candidates: list[list[int]] = [[] for _ in range(depth)]
+    cursors = [0] * depth
+    candidates[0] = root_candidates
+
+    def candidates_for(position: int) -> list[int]:
+        node = order[position]
+        parent = parent_of[node]
+        parent_position = position_of[parent]
+        parent_row = node_rows[parent][candidates[parent_position][cursors[parent_position]]]
+        key = tree.parent_group_key(parent, parent_row, node)
+        groups = tree.child_groups(parent, node)
+        node_alive = alive[node]
+        return [i for i in groups.get(key, ()) if node_alive[i]]
+
+    position = 0
+    while position >= 0:
+        if position == depth:
+            # One full choice vector: assemble the assignment.
+            assignment: Assignment = {}
+            for slot in range(depth):
+                node = order[slot]
+                row = node_rows[node][candidates[slot][cursors[slot]]]
+                assignment.update(zip(node_variables[node], row))
             answers.append(assignment)
             if limit is not None and len(answers) >= limit:
                 return answers
+            position -= 1
+            cursors[position] += 1
+            continue
+        if position > 0 and cursors[position] == 0:
+            candidates[position] = candidates_for(position)
+        if cursors[position] >= len(candidates[position]):
+            # Exhausted this slot: backtrack and advance the previous one.
+            cursors[position] = 0
+            position -= 1
+            if position >= 0:
+                cursors[position] += 1
+            continue
+        position += 1
+        if position < depth:
+            cursors[position] = 0
     return answers

@@ -56,8 +56,15 @@ def select_pivot(
     db: Database,
     ranking: RankingFunction,
     rooted: RootedJoinTree | None = None,
+    tree: MaterializedTree | None = None,
 ) -> PivotResult:
     """Compute a ``c``-pivot of ``Q(D)`` under ``ranking`` (Lemma 4.1).
+
+    Parameters
+    ----------
+    tree:
+        Optionally, an already materialized tree for (query, db) — shared
+        with counting through a :class:`~repro.joins.tree_cache.TreeCache`.
 
     Raises
     ------
@@ -66,11 +73,24 @@ def select_pivot(
     CyclicQueryError
         If the query is cyclic.
     """
-    tree = MaterializedTree(query, db, rooted=rooted)
+    if tree is None:
+        tree = MaterializedTree(query, db, rooted=rooted)
     counts = subtree_counts(tree)
     total = sum(counts[tree.root])
     if total == 0:
         raise EmptyResultError("cannot select a pivot: the query has no answers")
+
+    # The weighted-median quickselect probes each candidate's weight several
+    # times; memoize weight_of per assignment object (the cache holds the
+    # assignment itself so ids cannot be recycled while an entry is alive).
+    weight_cache: dict[int, tuple[Assignment, Any]] = {}
+
+    def weight_key(assignment: Assignment) -> Any:
+        entry = weight_cache.get(id(assignment))
+        if entry is None:
+            entry = (assignment, ranking.weight_of(assignment))
+            weight_cache[id(assignment)] = entry
+        return entry[1]
 
     # pivots[node][row_index] is the pivot partial answer rooted at that row,
     # or None for dangling rows (count 0), which can never be selected.
@@ -102,7 +122,7 @@ def select_pivot(
                 chosen = weighted_median(
                     [child_pivots[i] for i in live],
                     [child_counts[i] for i in live],
-                    key=lambda assignment: ranking.weight_of(assignment),
+                    key=weight_key,
                 )
                 group_pivot[key] = chosen  # type: ignore[assignment]
                 group_count[key] = sum(child_counts[i] for i in live)
@@ -125,7 +145,7 @@ def select_pivot(
     final = weighted_median(
         [pivots[root][i] for i in live_indices],
         [counts[root][i] for i in live_indices],
-        key=lambda assignment: ranking.weight_of(assignment),
+        key=weight_key,
     )
     final_c = c_value[root] / 2.0
     return PivotResult(

@@ -15,7 +15,6 @@ spanning-tree weight.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import CyclicQueryError, QueryError

@@ -3,8 +3,14 @@
 Both the MIN/MAX trimming (Algorithm 3) and the LEX trimming (Lemma 5.4) work
 by splitting the space of weighted-variable values into a constant number of
 disjoint *partitions*, each described by a conjunction of unary predicates,
-filtering a copy of the database per partition, and unioning the copies with a
+filtering the database per partition, and unioning the filtered copies with a
 fresh partition-identifier variable added to every atom.
+
+Filtering produces masked views over the original relations (survivor
+positions, no row copies), and the union is assembled column-wise: each
+output relation's columns are the concatenation of the partition views'
+columns plus one constant identifier column, so no intermediate row tuples
+are built and no per-row arity validation is paid.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping, Sequence
 from typing import Any
 
+from repro.data.columns import ColumnStore
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.query.atom import Atom
@@ -29,27 +36,28 @@ def filter_variables(
     """Filter every atom's relation with unary predicates on its variables.
 
     ``conditions`` maps variables to predicates on their values; every atom
-    containing a constrained variable has its relation filtered.  The query is
-    canonicalized first so each atom owns its relation.
+    containing a constrained variable has its relation replaced by a masked
+    view keeping the satisfying rows.  The query is canonicalized first so
+    each atom owns its relation.
     """
     query, db = ensure_canonical(query, db)
     new_db = Database()
     for atom in query.atoms:
         relation = db[atom.relation]
         relevant = [
-            (relation.position(variable), predicate)
+            (relation.column(variable), predicate)
             for variable, predicate in conditions.items()
             if variable in atom.variable_set
         ]
         if not relevant:
             new_db.add(relation)
             continue
-        rows = [
-            row
-            for row in relation.rows
-            if all(predicate(row[position]) for position, predicate in relevant)
+        positions = [
+            index
+            for index in range(len(relation))
+            if all(predicate(column[index]) for column, predicate in relevant)
         ]
-        new_db.add(Relation(relation.name, relation.schema, rows))
+        new_db.add(relation.select_rows(positions))
     return query, new_db
 
 
@@ -61,7 +69,7 @@ def union_partitions(
 ) -> TrimResult:
     """Build the union-of-filtered-copies construction of Algorithm 3.
 
-    For each partition ``i`` the database is copied and filtered with the
+    For each partition ``i`` the database is filtered (masked views) with the
     partition's unary conditions; a fresh partition-identifier variable (with
     value ``i``) is appended to every relation and every atom, so answers from
     different partitions cannot mix.  The construction is linear in the
@@ -74,16 +82,32 @@ def union_partitions(
         Atom(atom.relation, atom.variables + (partition_variable,)) for atom in query.atoms
     ]
     new_query = JoinQuery(new_atoms)
+    filtered_dbs = [
+        filter_variables(query, db, conditions)[1] for conditions in partitions
+    ]
     new_db = Database()
     for atom in query.atoms:
         relation = db[atom.relation]
-        new_db.add(Relation(relation.name, relation.schema + (partition_variable,), ()))
-    for index, conditions in enumerate(partitions):
-        _, filtered = filter_variables(query, db, conditions)
-        for atom in query.atoms:
-            target = new_db[atom.relation]
-            for row in filtered[atom.relation].rows:
-                target.add(row + (index,))
+        arity = relation.arity
+        columns: list[list[Any]] = [[] for _ in range(arity + 1)]
+        total = 0
+        for index, filtered in enumerate(filtered_dbs):
+            part = filtered[atom.relation]
+            size = len(part)
+            if not size:
+                continue
+            part_store = part.store
+            for position in range(arity):
+                columns[position].extend(part_store.column(position))
+            columns[arity].extend([index] * size)
+            total += size
+        new_db.add(
+            Relation.from_store(
+                relation.name,
+                relation.schema + (partition_variable,),
+                ColumnStore.from_columns(columns, length=total),
+            )
+        )
     return TrimResult(
         query=new_query,
         database=new_db,

@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right
 
+from repro.data.columns import ColumnStore
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.exceptions import TrimmingError
@@ -112,18 +113,28 @@ class SumAdjacentTrimmer(Trimmer):
         node: int,
         interval: WeightInterval,
     ) -> TrimResult:
-        """All weighted variables in one atom: filter that atom's relation."""
+        """All weighted variables in one atom: filter that atom's relation.
+
+        The per-row partial weights are memoized in the relation's index
+        catalog, so repeated trims of the same base relation (one per pivot
+        iteration and φ value) only pay the threshold comparison.
+        """
         atom = query[node]
         relation = db[atom.relation]
         mu = variable_to_atom_assignment(query, weighted, preferred_atoms=[node])
         owned = owned_variables(mu, node)
-        rows = [
-            row
-            for row in relation.rows
-            if interval.contains(row_weight(self.ranking, atom.variables, row, owned))
+        # The ranking object itself is part of the tag (identity hash): it
+        # both distinguishes rankings and keeps the object alive inside the
+        # catalog, so a recycled id can never alias another ranking's memos.
+        tag = ("sum_weights", self.ranking, atom.variables, tuple(sorted(owned)))
+        weights = relation.indexes.weight_values(
+            tag, lambda row: row_weight(self.ranking, atom.variables, row, owned)
+        )
+        positions = [
+            index for index, weight in enumerate(weights) if interval.contains(weight)
         ]
         new_db = db.copy()
-        new_db.replace(Relation(relation.name, relation.schema, rows))
+        new_db.replace(relation.select_rows(positions))
         return TrimResult(query, new_db)
 
     def _trim_adjacent_pair(
@@ -149,49 +160,77 @@ class SumAdjacentTrimmer(Trimmer):
         segment_variable = fresh_variable(query, "__trim_v")
 
         # --- Group side: sort each join group by its partial weight. ------ #
-        group_positions = [group_relation.position(v) for v in join_vars]
-        groups: dict[tuple, list[tuple]] = {}
-        for row in group_relation.rows:
-            key = tuple(row[p] for p in group_positions)
-            groups.setdefault(key, []).append(row)
+        # The whole group-side construction (grouping, per-group weight sort,
+        # ancestor-segment copies) is independent of the trimmed interval, so
+        # it is memoized in the group relation's index catalog: every pivot
+        # iteration and φ value after the first reuses it.
+        ranking = self.ranking
+        # Tags embed the ranking object (identity hash), not its id: the
+        # catalog's memo table then keeps the ranking alive, so ids cannot be
+        # recycled into stale cache hits for a different ranking.
+        group_tag = (
+            ranking,
+            group_atom.variables,
+            tuple(sorted(group_owned)),
+            tuple(join_vars),
+        )
 
-        sorted_groups: dict[tuple, tuple[list[float], list[tuple]]] = {}
-        for key, rows in groups.items():
-            weighted_rows = sorted(
-                rows,
-                key=lambda row: row_weight(
-                    self.ranking, group_atom.variables, row, group_owned
-                ),
-            )
-            weights = [
-                row_weight(self.ranking, group_atom.variables, row, group_owned)
-                for row in weighted_rows
-            ]
-            sorted_groups[key] = (weights, weighted_rows)
+        def group_weight(row: tuple) -> float:
+            return row_weight(ranking, group_atom.variables, row, group_owned)
 
-        group_keys = list(sorted_groups)
-        group_index = {key: i for i, key in enumerate(group_keys)}
+        def build_group_side():
+            catalog = group_relation.indexes
+            groups = catalog.hash_index(tuple(join_vars))
+            # Same tag for values and order: weight_order derives from the
+            # memoized weight_values, so the weights are computed only once.
+            weights_at = catalog.weight_values(("sum_weights",) + group_tag, group_weight)
+            order = catalog.weight_order(("sum_weights",) + group_tag, group_weight)
+            key_at: dict[int, tuple] = {}
+            for key, indices in groups.items():
+                for position in indices:
+                    key_at[position] = key
+            sorted_positions: dict[tuple, list[int]] = {key: [] for key in groups}
+            for position in order:
+                sorted_positions[key_at[position]].append(position)
+            rows = group_relation.rows
+            sorted_groups = {
+                key: (
+                    [weights_at[p] for p in positions],
+                    [rows[p] for p in positions],
+                )
+                for key, positions in sorted_positions.items()
+            }
+            group_index = {key: i for i, key in enumerate(sorted_groups)}
+            segment_rows: list[tuple] = []
+            for key, (weights, group_rows) in sorted_groups.items():
+                length = len(group_rows)
+                gid = group_index[key]
+                for position, row in enumerate(group_rows):
+                    for segment in ancestor_segments(length, position):
+                        segment_rows.append(row + ((gid, segment),))
+            return sorted_groups, group_index, segment_rows
 
-        new_group_rows: list[tuple] = []
-        for key, (weights, rows) in sorted_groups.items():
-            length = len(rows)
-            gid = group_index[key]
-            for position, row in enumerate(rows):
-                for segment in ancestor_segments(length, position):
-                    new_group_rows.append(row + ((gid, segment),))
+        sorted_groups, group_index, new_group_rows = group_relation.indexes.memo(
+            ("sum_group_side",) + group_tag, build_group_side
+        )
 
         # --- Copy side: one copy per canonical segment of the admissible range. #
+        copy_tag = (ranking, copy_atom.variables, tuple(sorted(copy_owned)))
+        copy_weights = copy_relation.indexes.weight_values(
+            ("sum_weights",) + copy_tag,
+            lambda row: row_weight(ranking, copy_atom.variables, row, copy_owned),
+        )
         low = -math.inf if interval.low is None else interval.low
         high = math.inf if interval.high is None else interval.high
         copy_positions = [copy_relation.position(v) for v in join_vars]
         new_copy_rows: list[tuple] = []
-        for row in copy_relation.rows:
+        for row_index, row in enumerate(copy_relation.rows):
             key = tuple(row[p] for p in copy_positions)
             if key not in sorted_groups:
                 continue
             weights, rows = sorted_groups[key]
             length = len(rows)
-            own_weight = row_weight(self.ranking, copy_atom.variables, row, copy_owned)
+            own_weight = copy_weights[row_index]
             # Admissible group weights w_S with low < own + w_S < high (bounds
             # possibly non-strict), i.e. w_S in (low - own, high - own).
             low_threshold = low - own_weight
@@ -224,17 +263,17 @@ class SumAdjacentTrimmer(Trimmer):
         new_query = JoinQuery(new_atoms)
         new_db = db.copy()
         new_db.replace(
-            Relation(
+            Relation.from_store(
                 copy_relation.name,
                 copy_relation.schema + (segment_variable,),
-                new_copy_rows,
+                ColumnStore.from_rows(copy_relation.arity + 1, new_copy_rows),
             )
         )
         new_db.replace(
-            Relation(
+            Relation.from_store(
                 group_relation.name,
                 group_relation.schema + (segment_variable,),
-                new_group_rows,
+                ColumnStore.from_rows(group_relation.arity + 1, new_group_rows),
             )
         )
         return TrimResult(new_query, new_db, helper_variables={segment_variable})

@@ -5,8 +5,6 @@ fast; the assertions check the *shape* of the output (the claims the full
 benchmark reproduces), not absolute timings.
 """
 
-import pytest
-
 from repro.bench import ablations, experiments
 
 
@@ -59,6 +57,18 @@ class TestExactScalingExperiments:
         # scale (the >= 2x acceptance bar is checked at full benchmark scale).
         assert row["speedup"] > 0
         assert row["pivot_cache_entries"] > 0
+        assert result.notes
+
+    def test_e13_shape(self):
+        result = experiments.run_e13(sizes=(100,), num_phis=5, seed=9)
+        assert [row["workload"] for row in result.rows] == ["path", "star"]
+        for row in result.rows:
+            assert row["phis"] == 5
+            # run_e13 itself asserts warm answers equal the cold ones; no
+            # timing assertion at smoke scale (the >= 1.5x acceptance bar is
+            # enforced by benchmarks/bench_e13_index_reuse.py).
+            assert row["speedup"] > 0
+            assert row["tree_hits"] > 0
         assert result.notes
 
 

@@ -11,8 +11,15 @@ from repro.bench.harness import (
     rank_of_weight,
     time_call,
 )
+import json
+
 from repro.bench.registry import EXPERIMENTS, get_experiment, run_experiment
-from repro.bench.reporting import format_table, format_value
+from repro.bench.reporting import (
+    format_table,
+    format_value,
+    result_to_dict,
+    write_json_report,
+)
 
 
 class TestTimeCall:
@@ -73,10 +80,40 @@ class TestReporting:
         assert result.column_values("a") == [1, 10]
 
 
+class TestJsonReport:
+    def make_result(self):
+        return ExperimentResult(
+            experiment="T1",
+            title="demo",
+            claim="none",
+            columns=["a", "b"],
+            rows=[{"a": 1, "b": 2.5}],
+            notes=["a note"],
+        )
+
+    def test_result_to_dict_roundtrips_table(self):
+        payload = result_to_dict(self.make_result())
+        assert payload["experiment"] == "T1"
+        assert payload["rows"] == [{"a": 1, "b": 2.5}]
+        assert payload["notes"] == ["a note"]
+        assert "python" in payload["environment"]
+
+    def test_write_json_report_canonical_name(self, tmp_path):
+        target = write_json_report(self.make_result(), tmp_path)
+        assert target == tmp_path / "BENCH_t1.json"
+        payload = json.loads(target.read_text())
+        assert payload["columns"] == ["a", "b"]
+
+    def test_write_json_report_explicit_file(self, tmp_path):
+        target = write_json_report(self.make_result(), tmp_path / "out.json")
+        assert target.name == "out.json"
+        assert json.loads(target.read_text())["experiment"] == "T1"
+
+
 class TestRegistry:
     def test_every_experiment_registered(self):
         expected = {"E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-                    "E10", "E11", "E12", "A1", "A2", "A3", "A4"}
+                    "E10", "E11", "E12", "E13", "A1", "A2", "A3", "A4"}
         assert expected == set(EXPERIMENTS)
 
     def test_get_experiment_case_insensitive(self):

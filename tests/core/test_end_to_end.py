@@ -19,7 +19,7 @@ from repro.ranking.lex import LexRanking
 from repro.ranking.minmax import MaxRanking, MinRanking
 from repro.ranking.sum import SumRanking
 
-from tests.conftest import assert_valid_quantile, brute_force_weights, quantile_target, rank_error
+from tests.conftest import assert_valid_quantile, brute_force_weights, rank_error
 
 PHIS = (0.0, 0.1, 0.5, 0.9, 1.0)
 

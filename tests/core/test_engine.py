@@ -2,11 +2,8 @@
 
 import pytest
 
-from repro.data.database import Database
-from repro.data.relation import Relation
 from repro.engine import Engine, PreparedQuery, SolverPlan
 from repro.exceptions import IntractableQueryError, RankingError, SolverError
-from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
 from repro.ranking.minmax import MaxRanking
 from repro.ranking.sum import SumRanking
@@ -131,8 +128,19 @@ class TestPreparedStateReuse:
         prepared.quantile(0.5)
         prepared.clear_pivot_cache()
         assert prepared.pivot_cache_size == 0
+        assert len(prepared.tree_cache) == 0
         # Still answers correctly after the cache is dropped.
         assert prepared.quantile(0.5).exact
+
+    def test_tree_cache_shared_across_batch(self, prepared):
+        prepared.quantiles([0.2, 0.5, 0.8])
+        # Preparation + the batch hit the cache at least once (e.g. pivot
+        # selection reusing the tree the counting pass built).
+        assert prepared.tree_cache.hits > 0
+        # A repeated batch is served without building a single new tree.
+        misses = prepared.tree_cache.misses
+        prepared.quantiles([0.2, 0.5, 0.8])
+        assert prepared.tree_cache.misses == misses
 
 
 class TestExecution:

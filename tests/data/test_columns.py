@@ -1,0 +1,123 @@
+"""Tests for the columnar backing store (repro.data.columns)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.columns import ColumnStore
+
+
+ROWS = [(1, "a"), (2, "b"), (3, "c"), (4, "d")]
+
+
+class TestMaterialization:
+    def test_rows_roundtrip_from_rows(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        assert store.rows() == ROWS
+        assert len(store) == 4
+
+    def test_rows_roundtrip_from_columns(self):
+        store = ColumnStore.from_columns([[1, 2, 3, 4], ["a", "b", "c", "d"]])
+        assert store.rows() == ROWS
+
+    def test_column_from_rows(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        assert store.column(0) == [1, 2, 3, 4]
+        assert store.column(1) == ["a", "b", "c", "d"]
+
+    def test_column_is_cached(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        assert store.column(0) is store.column(0)
+
+    def test_column_out_of_range(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        with pytest.raises(IndexError):
+            store.column(2)
+
+    def test_iteration(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        assert list(store) == ROWS
+
+    def test_arity_zero(self):
+        store = ColumnStore(0, length=3)
+        assert len(store) == 3
+        assert store.rows() == [(), (), ()]
+
+
+class TestViews:
+    def test_select_keeps_positions(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        view = store.select([0, 2])
+        assert view.rows() == [(1, "a"), (3, "c")]
+        assert view.column(1) == ["a", "c"]
+
+    def test_select_composes_to_base(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        view = store.select([1, 2, 3]).select([0, 2])
+        assert view.rows() == [(2, "b"), (4, "d")]
+
+    def test_project_shares_columns_on_leaf(self):
+        store = ColumnStore.from_columns([[1, 2], ["a", "b"]])
+        projected = store.project([1])
+        assert projected.column(0) is store.column(1)
+        assert projected.rows() == [("a",), ("b",)]
+
+    def test_project_duplicates_columns(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        projected = store.project([0, 0])
+        assert projected.rows()[0] == (1, 1)
+
+    def test_with_column(self):
+        store = ColumnStore.from_rows(2, ROWS[:2])
+        extended = store.with_column([10, 20])
+        assert extended.rows() == [(1, "a", 10), (2, "b", 20)]
+
+    def test_with_column_wrong_length(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        with pytest.raises(ValueError):
+            store.with_column([1])
+
+
+class TestMutation:
+    def test_append_to_leaf(self):
+        store = ColumnStore.from_rows(2, ROWS[:2])
+        store.append((9, "z"))
+        assert store.rows() == ROWS[:2] + [(9, "z")]
+        assert store.column(0) == [1, 2, 9]
+
+    def test_append_does_not_mutate_previously_served_column(self):
+        store = ColumnStore.from_rows(2, ROWS[:2])
+        column = store.column(0)
+        store.append((9, "z"))
+        assert column == [1, 2]  # the handed-out list is frozen
+        assert store.column(0) == [1, 2, 9]
+
+    def test_append_does_not_grow_projection_of_row_leaf(self):
+        # Regression: project() shares the parent's cached column list, so
+        # append must drop (not extend) the cache or the projection grows.
+        store = ColumnStore.from_rows(2, ROWS[:3])
+        projected = store.project([0])
+        store.append((9, "z"))
+        assert len(projected) == 3
+        assert projected.rows() == [(1,), (2,), (3,)]
+
+    def test_snapshot_is_frozen_against_append(self):
+        store = ColumnStore.from_rows(2, ROWS[:2])
+        frozen = store.snapshot()
+        store.append((9, "z"))
+        assert frozen.rows() == ROWS[:2]
+        assert len(frozen) == 2
+
+    def test_append_to_view_is_copy_on_write(self):
+        store = ColumnStore.from_rows(2, ROWS)
+        view = store.select([0, 1])
+        view.append((9, "z"))
+        assert view.rows() == [(1, "a"), (2, "b"), (9, "z")]
+        assert store.rows() == ROWS  # parent untouched
+
+    def test_append_does_not_corrupt_shared_projection(self):
+        store = ColumnStore.from_columns([[1, 2], ["a", "b"]])
+        projected = store.project([0])
+        store.append((3, "c"))
+        assert projected.rows() == [(1,), (2,)]
+        assert store.rows() == [(1, "a"), (2, "b"), (3, "c")]

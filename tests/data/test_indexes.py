@@ -1,0 +1,147 @@
+"""Tests for the per-relation index catalog (repro.data.indexes),
+including the invalidation guarantees after mutation."""
+
+from __future__ import annotations
+
+from repro.data.relation import Relation
+
+
+def make_relation():
+    return Relation(
+        "R",
+        ("x", "y"),
+        [(1, "a"), (2, "b"), (1, "c"), (3, "a")],
+    )
+
+
+class TestHashIndex:
+    def test_hash_index_positions(self):
+        relation = make_relation()
+        index = relation.indexes.hash_index(("x",))
+        assert index == {(1,): [0, 2], (2,): [1], (3,): [3]}
+
+    def test_hash_index_multi_attribute(self):
+        relation = make_relation()
+        index = relation.indexes.hash_index(("x", "y"))
+        assert index[(1, "a")] == [0]
+        assert len(index) == 4
+
+    def test_hash_index_empty_attributes(self):
+        relation = make_relation()
+        assert relation.indexes.hash_index(()) == {(): [0, 1, 2, 3]}
+
+    def test_hash_index_is_memoized(self):
+        relation = make_relation()
+        first = relation.indexes.hash_index(("x",))
+        assert relation.indexes.hash_index(("x",)) is first
+        assert relation.indexes.hits >= 1
+
+    def test_key_set(self):
+        relation = make_relation()
+        assert relation.indexes.key_set(("y",)) == {("a",), ("b",), ("c",)}
+
+
+class TestOrders:
+    def test_weight_order_and_values(self):
+        relation = make_relation()
+        key = lambda row: -row[0]  # noqa: E731
+        order = relation.indexes.weight_order(("neg",), key)
+        assert order == [3, 1, 0, 2]
+        assert relation.indexes.weight_values(("neg",), key) == [-1, -2, -1, -3]
+
+    def test_weight_order_derived_from_parent_view(self):
+        relation = make_relation()
+        key = lambda row: row[0]  # noqa: E731
+        parent_order = relation.indexes.weight_order(("w",), key)
+        assert parent_order == [0, 2, 1, 3]
+        view = relation.select_rows([1, 3])  # rows (2, "b") and (3, "a")
+        derived = view.indexes.weight_order(("w",), key)
+        assert derived == [0, 1]
+        # The parent's order was consulted, not recomputed: the parent
+        # catalog registered a hit for the shared tag.
+        assert relation.indexes.hits >= 1
+
+    def test_tag_objects_are_pinned_alive(self):
+        # Tags embed identifying objects (e.g. the ranking); the memo table
+        # must keep them alive so their ids cannot be recycled into stale
+        # cache hits for a semantically different object.
+        import gc
+        import weakref
+
+        class Marker:
+            pass
+
+        relation = make_relation()
+        marker = Marker()
+        ref = weakref.ref(marker)
+        relation.indexes.weight_values((marker, "w"), lambda row: row[0])
+        del marker
+        gc.collect()
+        assert ref() is not None  # held by the catalog's memo table
+        relation.add((8, "h"))  # catalog dropped -> tag released
+        gc.collect()
+        assert ref() is None
+
+    def test_memo(self):
+        relation = make_relation()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"built": True}
+
+        first = relation.indexes.memo("tag", compute)
+        second = relation.indexes.memo("tag", compute)
+        assert first is second
+        assert len(calls) == 1
+
+
+class TestInvalidation:
+    """Satellite: ``Relation.add`` after an index is built must never serve
+    stale semijoin / group / sort / membership results."""
+
+    def test_contains_after_add(self):
+        relation = make_relation()
+        assert (9, "z") not in relation  # builds the membership index
+        relation.add((9, "z"))
+        assert (9, "z") in relation
+
+    def test_group_by_after_add(self):
+        relation = make_relation()
+        assert len(relation.group_by(["x"])) == 3  # builds the hash index
+        relation.add((4, "d"))
+        groups = relation.group_by(["x"])
+        assert (4,) in groups
+        assert groups[(4,)] == [(4, "d")]
+
+    def test_semijoin_after_add(self):
+        left = make_relation()
+        right = Relation("S", ("x",), [(2,)])
+        assert len(left.semijoin(right)) == 1  # builds both sides' indexes
+        right.add((1,))
+        assert len(left.semijoin(right)) == 3
+        left.add((2, "zz"))
+        assert len(left.semijoin(right)) == 4
+
+    def test_weight_order_after_add(self):
+        relation = Relation("R", ("x",), [(3,), (1,)])
+        key = lambda row: row[0]  # noqa: E731
+        assert relation.indexes.weight_order(("w",), key) == [1, 0]
+        relation.add((0,))
+        assert relation.indexes.weight_order(("w",), key) == [2, 1, 0]
+
+    def test_version_bumps_on_add(self):
+        relation = make_relation()
+        before = relation.version
+        relation.add((5, "e"))
+        assert relation.version == before + 1
+
+    def test_view_detaches_from_parent_after_add(self):
+        relation = make_relation()
+        view = relation.select_rows([0, 1])
+        assert view.parent_view() is not None
+        view.add((7, "q"))
+        assert view.parent_view() is None
+        # The mutated view answers from its own (fresh) indexes.
+        assert (7, "q") in view
+        assert (7, "q") not in relation

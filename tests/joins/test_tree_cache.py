@@ -1,0 +1,104 @@
+"""Tests for the shared materialized-tree cache (repro.joins.tree_cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.joins.counting import count_answers
+from repro.joins.tree_cache import TreeCache, database_fingerprint
+from repro.query.atom import Atom
+from repro.query.join_query import JoinQuery
+
+
+@pytest.fixture
+def pair():
+    query = JoinQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+    db = Database(
+        [
+            Relation("R", ("x", "y"), [(1, 1), (2, 2)]),
+            Relation("S", ("y", "z"), [(1, 10), (2, 20), (2, 30)]),
+        ]
+    )
+    return query, db
+
+
+def test_same_pair_returns_same_tree(pair):
+    query, db = pair
+    cache = TreeCache()
+    first = cache.get(query, db)
+    second = cache.get(query, db)
+    assert first is second
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_distinct_databases_get_distinct_trees(pair):
+    query, db = pair
+    cache = TreeCache()
+    other = db.copy()
+    assert cache.get(query, db) is not cache.get(query, other)
+    assert cache.misses == 2
+
+
+def test_mutated_relation_invalidates_tree(pair):
+    query, db = pair
+    cache = TreeCache()
+    tree = cache.get(query, db)
+    assert count_answers(query, db, tree=tree) == 3
+    db["S"].add((1, 40))
+    fresh = cache.get(query, db)
+    assert fresh is not tree
+    assert count_answers(query, db, tree=fresh) == 4
+
+
+def test_replaced_relation_invalidates_tree(pair):
+    query, db = pair
+    cache = TreeCache()
+    tree = cache.get(query, db)
+    db.replace(Relation("S", ("y", "z"), [(1, 10)]))
+    fresh = cache.get(query, db)
+    assert fresh is not tree
+    assert count_answers(query, db, tree=fresh) == 1
+
+
+def test_replaced_relation_id_recycling_not_served_stale(pair):
+    """Regression: the entry must pin the fingerprinted relation objects.
+    Without that, a relation dropped by ``replace`` can be freed and a new
+    relation can reuse its id at version 0, aliasing the stale fingerprint
+    (CPython recycles ids of same-sized objects eagerly)."""
+    import gc
+
+    query, db = pair
+    cache = TreeCache()
+    cache.get(query, db)
+    db.replace(Relation("S", ("y", "z"), [(1, 10)]))
+    gc.collect()
+    db.replace(Relation("S", ("y", "z"), [(1, 10), (1, 11), (1, 12), (2, 20)]))
+    gc.collect()
+    fresh = cache.get(query, db)
+    assert count_answers(query, db, tree=fresh) == 4
+
+
+def test_fingerprint_tracks_versions(pair):
+    _, db = pair
+    before = database_fingerprint(db)
+    db["R"].add((3, 3))
+    assert database_fingerprint(db) != before
+
+
+def test_lru_eviction(pair):
+    query, db = pair
+    cache = TreeCache(limit=2)
+    tree = cache.get(query, db)
+    for _ in range(3):
+        cache.get(query, db.copy())
+    assert len(cache) == 2
+    # The original entry was evicted; a new tree is built for the same pair.
+    assert cache.get(query, db) is not tree
+
+
+def test_limit_must_be_positive():
+    with pytest.raises(ValueError):
+        TreeCache(limit=0)

@@ -1,12 +1,14 @@
 """Yannakakis evaluation: full reduction and materialization."""
 
 import random
+import sys
 
 from hypothesis import given, settings, strategies as st
 
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.joins.counting import count_answers
+from repro.joins.message_passing import MaterializedTree
 from repro.joins.yannakakis import evaluate, full_reduce
 from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
@@ -60,6 +62,49 @@ def test_evaluate_binary_join(binary_join):
     fast = evaluate(query, db)
     slow = query.answers_brute_force(db)
     assert answer_set(fast) == answer_set(slow)
+
+
+def test_evaluate_accepts_shared_tree(figure1_query, figure1_db):
+    tree = MaterializedTree(figure1_query, figure1_db)
+    with_tree = evaluate(figure1_query, figure1_db, tree=tree)
+    without = evaluate(figure1_query, figure1_db)
+    assert answer_set(with_tree) == answer_set(without)
+
+
+def test_limit_zero_and_negative(figure1_query, figure1_db):
+    assert evaluate(figure1_query, figure1_db, limit=0) == []
+    assert evaluate(figure1_query, figure1_db, limit=-1) == []
+
+
+def test_deep_path_query_does_not_recurse():
+    """Regression: the answer expansion used to recurse once per join-tree
+    level, so a path query longer than Python's recursion limit crashed with
+    RecursionError.  The iterative odometer enumeration has no such limit
+    (checked here by running a 500-level path under a tightened limit)."""
+    depth = 500
+    atoms = [Atom(f"R{i}", (f"x{i}", f"x{i + 1}")) for i in range(depth)]
+    query = JoinQuery(atoms)
+    db = Database(
+        [Relation(f"R{i}", (f"x{i}", f"x{i + 1}"), [(0, 0), (0, 1)][: 1 + (i == 0)])
+         for i in range(depth)]
+    )
+    # R0 has rows (0,0) and (0,1); x1 must be 0 to continue the path, so the
+    # (0,1) row of R0 is dangling and exactly one answer survives.
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(len(_inspect_stack_depth()) + depth - 50)
+    try:
+        answers = evaluate(query, db)
+    finally:
+        sys.setrecursionlimit(limit)
+    assert len(answers) == 1
+    assert all(answers[0][f"x{i}"] == 0 for i in range(depth + 1))
+
+
+def _inspect_stack_depth():
+    """Current Python frames (the recursion limit counts from the bottom)."""
+    import inspect
+
+    return inspect.stack(0)
 
 
 @settings(max_examples=25, deadline=None)
