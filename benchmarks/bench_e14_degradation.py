@@ -1,0 +1,110 @@
+"""E14 — execution guardrails: budget degradation on the intractable SUM case.
+
+Benchmarks the E5 workload (full SUM on a 3-path query, the conditionally
+intractable case of Theorem 5.6) three ways: the exact materialize run with
+no budget, the same plan under a wall-clock deadline far below the exact
+latency with the single-rung ``sampling`` policy, and under the full
+``degrade`` ladder.  The acceptance bar of the guardrail layer is that the
+budgeted run returns within 2x its deadline with ``degraded=True`` and the
+sampling strategy, i.e. the deadline is honoured by falling back to the
+paper's randomized approximation (Section 3.1) rather than by dying.
+
+The measured table is also written as machine-readable ``BENCH_e14.json``
+(shared helper in :mod:`repro.bench.reporting`), which CI uploads as a
+workflow artifact; its ``budget`` and ``degradation`` keys record the
+configuration and outcome of every degraded run.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_e14
+from repro.bench.harness import time_call
+from repro.bench.reporting import write_json_report
+from repro.engine import Engine
+from repro.exceptions import BudgetExceededError, DegradedResultWarning
+
+PHI = 0.5
+EPSILON = 0.25
+SEED = 23
+
+
+def prepare(workload, **guards):
+    return Engine(workload.db).prepare(
+        workload.query,
+        workload.ranking,
+        strategy="materialize",
+        seed=SEED,
+        eager=False,
+        **guards,
+    )
+
+
+def exact_latency(workload) -> float:
+    """One unbudgeted exact run; its latency calibrates the tight deadline."""
+    _, elapsed = time_call(lambda: prepare(workload).quantile(PHI))
+    return elapsed
+
+
+def test_exact_materialize_baseline(benchmark, full_sum_workload):
+    result = benchmark.pedantic(
+        lambda: prepare(full_sum_workload).quantile(PHI), rounds=1, iterations=1
+    )
+
+    assert result.exact
+    assert not result.degraded
+    benchmark.extra_info["answers"] = result.total_answers
+
+
+def test_degraded_run_meets_deadline(full_sum_workload):
+    """Acceptance: a tight deadline degrades exact -> sampling within 2x."""
+    deadline = max(0.02, exact_latency(full_sum_workload) / 8)
+    prepared = prepare(
+        full_sum_workload,
+        epsilon=EPSILON,
+        timeout=deadline,
+        on_budget="sampling",
+    )
+
+    with pytest.warns(DegradedResultWarning):
+        result, elapsed = time_call(lambda: prepared.quantile(PHI))
+
+    assert result.degraded
+    assert result.strategy == "sampling"
+    assert result.degradation is not None
+    assert "timeout budget tripped" in result.degradation
+    assert elapsed <= 2 * deadline, (
+        f"degraded run took {elapsed:.4f}s against a {deadline:.4f}s deadline; "
+        "acceptance requires returning within 2x the deadline"
+    )
+
+
+def test_error_policy_raises_budget_exceeded(full_sum_workload):
+    prepared = prepare(full_sum_workload, timeout=0.001, on_budget="error")
+
+    with pytest.raises(BudgetExceededError) as excinfo:
+        prepared.quantile(PHI)
+
+    assert excinfo.value.budget == "timeout"
+    assert excinfo.value.checkpoint
+
+
+def test_e14_table_and_json_report():
+    """The E14 table must show the budgeted sampling run degrading within
+    bounds; the table is emitted as BENCH_e14.json in the current working
+    directory (CI runs from the repo root and uploads it as an artifact)."""
+    result = run_e14(n=200, phi=PHI, epsilon=EPSILON, seed=SEED)
+    target = write_json_report(result)
+
+    assert target.name == "BENCH_e14.json"
+    assert result.meta["budget"]["timeout"] > 0
+    by_mode = {row["mode"]: row for row in result.rows}
+    assert not by_mode["exact"]["degraded"]
+    sampled = by_mode["budget/sampling"]
+    assert sampled["degraded"]
+    assert sampled["strategy"] == "sampling"
+    assert sampled["within_2x_deadline"], (
+        f"budgeted sampling run took {sampled['seconds']}s against a "
+        f"{sampled['deadline_seconds']}s deadline"
+    )
+    assert sampled["rank_error"] <= EPSILON
+    assert any("budget/sampling" in note for note in result.meta["degradation"])

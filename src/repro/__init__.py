@@ -39,8 +39,11 @@ from repro.engine import Engine, PreparedQuery, SolverPlan
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.exceptions import (
+    BudgetExceededError,
     CyclicQueryError,
+    DegradedResultWarning,
     EmptyResultError,
+    ExecutionCancelledError,
     IntractableQueryError,
     QueryError,
     RankingError,
@@ -48,6 +51,7 @@ from repro.exceptions import (
     SchemaError,
     SolverError,
     TrimmingError,
+    ValidationError,
 )
 from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
@@ -55,6 +59,7 @@ from repro.query.parser import parse_atom, parse_join_query, parse_ranking
 from repro.ranking.lex import LexRanking
 from repro.ranking.minmax import MaxRanking, MinRanking
 from repro.ranking.sum import SumRanking
+from repro.runtime import CancellationToken, ExecutionContext
 
 __version__ = "1.0.0"
 
@@ -77,6 +82,9 @@ __all__ = [
     # engine
     "Engine",
     "PreparedQuery",
+    # execution guardrails
+    "ExecutionContext",
+    "CancellationToken",
     # solver
     "QuantileSolver",
     "SolverPlan",
@@ -94,4 +102,8 @@ __all__ = [
     "TrimmingError",
     "IntractableQueryError",
     "SolverError",
+    "ValidationError",
+    "BudgetExceededError",
+    "ExecutionCancelledError",
+    "DegradedResultWarning",
 ]

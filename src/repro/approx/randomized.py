@@ -15,9 +15,11 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.data.database import Database
+from repro.exceptions import ValidationError
 from repro.joins.sampling import AnswerSampler
 from repro.query.join_query import JoinQuery
 from repro.ranking.base import RankingFunction
+from repro.runtime import checkpoint
 
 Assignment = dict[str, Any]
 
@@ -72,17 +74,18 @@ def sampling_quantile(
         re-materializing the atoms.
     """
     if not 0 <= phi <= 1:
-        raise ValueError(f"phi must be in [0, 1], got {phi}")
+        raise ValidationError(f"phi must be in [0, 1], got {phi}")
     if not 0 < epsilon < 1:
-        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        raise ValidationError(f"epsilon must be in (0, 1), got {epsilon}")
     if not 0 < delta < 1:
-        raise ValueError(f"delta must be in (0, 1), got {delta}")
+        raise ValidationError(f"delta must be in (0, 1), got {delta}")
     sampler = AnswerSampler(query, db, seed=seed, tree=tree)
     sample_size = max(1, math.ceil(math.log(4.0 / delta) / (2.0 * epsilon * epsilon)))
     repetitions = max(1, math.ceil(math.log(2.0 / delta)))
 
     estimates: list[tuple[Any, Assignment]] = []
     for _ in range(repetitions):
+        checkpoint("sampling.estimate")
         sample = sampler.sample_many(sample_size)
         sample.sort(key=ranking.weight_of)
         index = min(len(sample) - 1, int(math.floor(phi * len(sample))))

@@ -13,12 +13,13 @@ from __future__ import annotations
 from typing import Any
 
 from repro.data.database import Database
-from repro.exceptions import CyclicQueryError, EmptyResultError
+from repro.exceptions import CyclicQueryError, EmptyResultError, ValidationError
 from repro.core.quantile import target_index_for
 from repro.core.result import QuantileResult
 from repro.joins.yannakakis import evaluate
 from repro.query.join_query import JoinQuery
 from repro.ranking.base import RankingFunction
+from repro.runtime import checkpoint
 
 Assignment = dict[str, Any]
 
@@ -32,6 +33,7 @@ def _materialize_answers(query: JoinQuery, db: Database) -> list[Assignment]:
     try:
         return evaluate(query, db)
     except CyclicQueryError:
+        checkpoint("materialize.brute_force")
         return query.answers_brute_force(db)
 
 
@@ -72,13 +74,13 @@ def select_from_sorted(
     ``index`` must be given.
     """
     if (phi is None) == (index is None):
-        raise ValueError("exactly one of phi and index must be provided")
+        raise ValidationError("exactly one of phi and index must be provided")
     if not answers:
         raise EmptyResultError("the query has no answers, so no quantile exists")
     total = len(answers)
     if index is not None:
         if not 0 <= index < total:
-            raise ValueError(f"index {index} out of range [0, {total})")
+            raise ValidationError(f"index {index} out of range [0, {total})")
         target = index
     else:
         target = target_index_for(phi, total)  # type: ignore[arg-type]

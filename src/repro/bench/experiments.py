@@ -707,3 +707,109 @@ def run_e13(sizes: Sequence[int] = (1500,), num_phis: int = 19, seed: int = 23):
         "(acceptance target: >= 1.5x)"
     )
     return result
+
+
+# ---------------------------------------------------------------------- #
+# E14: execution guardrails — exact vs degraded latency and accuracy
+# ---------------------------------------------------------------------- #
+def run_e14(
+    n: int = 200,
+    phi: float = 0.5,
+    epsilon: float = 0.25,
+    timeout: float | None = None,
+    seed: int = 23,
+) -> ExperimentResult:
+    """E14 — budgets and graceful degradation on the intractable SUM case.
+
+    The exact (materialize) run on the full-SUM 3-path query is the workload
+    Theorem 5.6 rules a quasilinear algorithm out for; E14 runs it once
+    unbudgeted to establish the exact latency, then re-runs it under a
+    wall-clock deadline far below that latency with the ``degrade`` and
+    ``sampling`` policies.  The acceptance bar is that the single-rung
+    ``sampling`` run returns within 2x its deadline with ``degraded=True``
+    and an observed rank error inside the epsilon band — the degraded rungs
+    are the paper's approximation schemes (Theorem 6.2 / Section 3.1), so
+    their guarantees apply unchanged.
+    """
+    import warnings
+
+    from repro.engine import Engine
+    from repro.exceptions import DegradedResultWarning
+
+    workload = path_workload(
+        3,
+        n,
+        join_domain=max(2, n // 10),
+        ranking=SumRanking(["x1", "x2", "x3", "x4"]),
+        seed=seed + n,
+    )
+    weights = answer_weights(workload.query, workload.db, workload.ranking)
+    total = len(weights)
+    target = min(total - 1, int(phi * total))
+
+    def solve(**guards):
+        prepared = Engine(workload.db).prepare(
+            workload.query,
+            workload.ranking,
+            strategy="materialize",
+            seed=seed,
+            eager=False,
+            **guards,
+        )
+        return time_call(lambda: prepared.quantile(phi))
+
+    exact, exact_time = solve()
+    deadline = timeout if timeout is not None else max(0.02, exact_time / 8)
+
+    result = ExperimentResult(
+        experiment="E14",
+        title="Execution guardrails: exact vs degraded latency and accuracy",
+        claim="a tripped budget degrades the planned exact strategy to the "
+        "paper's approximation schemes, so the answer arrives within the "
+        "deadline band at a rank error the epsilon guarantee still bounds",
+        columns=[
+            "mode",
+            "strategy",
+            "seconds",
+            "deadline_seconds",
+            "within_2x_deadline",
+            "degraded",
+            "rank_error",
+        ],
+        meta={"budget": {"timeout": round(deadline, 4), "max_rows": None}},
+    )
+    degradations: list[str] = []
+
+    def add_row(mode, res, elapsed, limit):
+        if res.degradation:
+            degradations.append(f"{mode}: {res.degradation}")
+        result.rows.append(
+            {
+                "mode": mode,
+                "strategy": res.strategy,
+                "seconds": round(elapsed, 4),
+                "deadline_seconds": round(limit, 4) if limit else None,
+                "within_2x_deadline": elapsed <= 2 * limit if limit else None,
+                "degraded": res.degraded,
+                "rank_error": round(
+                    observed_rank_error(weights, res.weight, target), 4
+                ),
+            }
+        )
+
+    add_row("exact", exact, exact_time, None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        for policy in ("degrade", "sampling"):
+            res, elapsed = solve(epsilon=epsilon, timeout=deadline, on_budget=policy)
+            add_row(f"budget/{policy}", res, elapsed, deadline)
+    result.meta["degradation"] = degradations
+    result.notes.append(
+        f"answers={total}; deadline {deadline:.4f}s vs exact {exact_time:.4f}s; "
+        + (
+            "degradations: " + "; ".join(degradations)
+            if degradations
+            else "no degradation (the exact run fit the budget)"
+        )
+    )
+    return result

@@ -35,6 +35,10 @@ class ExperimentResult:
     notes:
         Free-form observations computed by the experiment (e.g. measured
         growth factors) that EXPERIMENTS.md quotes.
+    meta:
+        Structured experiment-level metadata carried into the JSON report —
+        e.g. the budget configuration and degradation outcomes of the
+        guardrail experiments.
     """
 
     experiment: str
@@ -43,6 +47,7 @@ class ExperimentResult:
     columns: Sequence[str]
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def column_values(self, column: str) -> list[Any]:
         """All values of one column, in row order."""

@@ -59,7 +59,12 @@ def print_result(result: ExperimentResult) -> None:
 # Machine-readable reports
 # ---------------------------------------------------------------------- #
 def result_to_dict(result: ExperimentResult) -> dict:
-    """One experiment result as a JSON-serializable dictionary."""
+    """One experiment result as a JSON-serializable dictionary.
+
+    Always carries ``budget`` and ``degradation`` keys (filled from
+    ``result.meta`` when the experiment ran under execution guardrails,
+    ``None`` otherwise), so report consumers can rely on their presence.
+    """
     return {
         "experiment": result.experiment,
         "title": result.title,
@@ -67,6 +72,13 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "columns": list(result.columns),
         "rows": [dict(row) for row in result.rows],
         "notes": list(result.notes),
+        "budget": result.meta.get("budget"),
+        "degradation": result.meta.get("degradation"),
+        "meta": {
+            key: value
+            for key, value in result.meta.items()
+            if key not in ("budget", "degradation")
+        },
         "environment": {
             "python": sys.version.split()[0],
             "implementation": platform.python_implementation(),

@@ -30,7 +30,12 @@ import sys
 
 from repro.engine import STRATEGIES, Engine
 from repro.data.io import load_database_csv
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    BudgetExceededError,
+    ExecutionCancelledError,
+    ReproError,
+)
+from repro.runtime.policy import DEGRADATION_POLICIES
 from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
 from repro.query.parser import parse_atom as _parse_atom_spec
@@ -137,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="force a solution strategy (default: auto)",
     )
     parser.add_argument("--seed", type=int, default=None, help="seed for the sampling strategy")
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock budget in seconds per execution (exit code 3 when "
+        "exceeded under --on-budget error)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=None,
+        help="budget on rows processed per execution (work/memory proxy)",
+    )
+    parser.add_argument(
+        "--on-budget", default="error", choices=list(DEGRADATION_POLICIES),
+        help="degradation policy when a budget trips: error out, retry once "
+        "with approx/sampling/materialize, or walk the full degrade ladder "
+        "(default: error)",
+    )
     parser.add_argument("--count-only", action="store_true", help="only print |Q(D)| and exit")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     return parser
@@ -153,6 +173,8 @@ def _result_record(result, plan, phi: float | None) -> dict:
         "weight": result.weight,
         "assignment": result.assignment,
         "pivot_iterations": result.iterations,
+        "degraded": result.degraded,
+        "degradation": result.degradation,
     }
     if phi is not None:
         record = {"phi": phi, **record}
@@ -188,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
             prepared = engine.prepare(
                 query, ranking,
                 epsilon=args.epsilon, strategy=args.strategy, seed=args.seed,
+                timeout=args.timeout, max_rows=args.max_rows,
+                on_budget=args.on_budget,
                 eager=False,
             )
             plan = prepared.plan()
@@ -200,6 +224,12 @@ def main(argv: list[str] | None = None) -> int:
                 payload = records if len(records) > 1 else records[0]
             else:
                 payload = _result_record(prepared.selection(args.index), plan, None)
+    except BudgetExceededError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    except ExecutionCancelledError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 4
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

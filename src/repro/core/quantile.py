@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, MutableMapping
 
 from repro.data.database import Database
-from repro.exceptions import EmptyResultError, SolverError
+from repro.exceptions import EmptyResultError, SolverError, ValidationError
 from repro.joins.counting import count_answers
 from repro.joins.tree_cache import TreeCache
 from repro.joins.yannakakis import evaluate
@@ -34,6 +34,7 @@ from repro.query.join_query import JoinQuery
 from repro.query.predicates import WeightInterval
 from repro.query.rewrite import ensure_canonical
 from repro.ranking.base import RankingFunction
+from repro.runtime import checkpoint
 from repro.trim.base import Trimmer
 
 Assignment = dict[str, Any]
@@ -45,7 +46,7 @@ def target_index_for(phi: float, total: int) -> int:
     Follows Algorithm 1 (line 4): ``⌊φ·|Q(D)|⌋``, clamped to ``[0, total−1]``.
     """
     if not 0.0 <= phi <= 1.0:
-        raise ValueError(f"phi must be in [0, 1], got {phi}")
+        raise ValidationError(f"phi must be in [0, 1], got {phi}")
     if total <= 0:
         raise EmptyResultError("the query has no answers, so no quantile exists")
     return min(total - 1, max(0, int(math.floor(phi * total))))
@@ -64,7 +65,7 @@ def phi_for_index(index: int, total: int) -> float:
     if total <= 0:
         raise EmptyResultError("the query has no answers, so no quantile exists")
     if not 0 <= index < total:
-        raise ValueError(f"index {index} out of range [0, {total})")
+        raise ValidationError(f"index {index} out of range [0, {total})")
     return (index + 0.5) / total
 
 
@@ -144,7 +145,7 @@ def pivoting_quantile(
         rebuilding it.
     """
     if (phi is None) == (index is None):
-        raise ValueError("exactly one of phi and index must be provided")
+        raise ValidationError("exactly one of phi and index must be provided")
     ranking.validate_for(query.variables)
     original_variables = set(query.variables)
     base_query, base_db = ensure_canonical(query, db)
@@ -161,7 +162,7 @@ def pivoting_quantile(
         raise EmptyResultError("the query has no answers, so no quantile exists")
     if index is not None:
         if not 0 <= index < total:
-            raise ValueError(f"index {index} out of range [0, {total})")
+            raise ValidationError(f"index {index} out of range [0, {total})")
         target = index
     else:
         target = target_index_for(phi, total)  # type: ignore[arg-type]
@@ -179,6 +180,7 @@ def pivoting_quantile(
     iteration_cap = max_iterations if max_iterations is not None else 0
 
     while current_count > termination_size:
+        checkpoint("quantile.iteration")
         step = pivot_cache.get(interval) if pivot_cache is not None else None
         if step is None:
             pivot = select_pivot(

@@ -65,6 +65,13 @@ class QuantileResult:
         strategies).
     stats:
         Per-iteration diagnostics.
+    degraded:
+        Whether the planned strategy tripped a budget and the answer was
+        produced by a fallback rung of the degradation ladder instead.
+    degradation:
+        Human-readable description of the applied degradation
+        (``"exact-pivot -> sampling (timeout at 'counting.node')"``), or
+        ``None`` for non-degraded results.
     """
 
     assignment: Assignment
@@ -76,9 +83,13 @@ class QuantileResult:
     epsilon: float | None = None
     iterations: int = 0
     stats: tuple[IterationStats, ...] = field(default_factory=tuple)
+    degraded: bool = False
+    degradation: str | None = None
 
     def __str__(self) -> str:
         kind = "exact" if self.exact else f"approximate (epsilon={self.epsilon})"
+        if self.degraded:
+            kind += f", degraded: {self.degradation}"
         return (
             f"QuantileResult(weight={self.weight!r}, index={self.target_index}/"
             f"{self.total_answers}, strategy={self.strategy}, {kind})"

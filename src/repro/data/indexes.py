@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections.abc import Callable, Hashable, Sequence
 from typing import TYPE_CHECKING, Any
 
+from repro.runtime import checkpoint
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.data.relation import Relation
 
@@ -69,6 +71,9 @@ class IndexCatalog:
             self.hits += 1
             return index
         self.misses += 1
+        # Build fully, publish last: an interruption (budget, cancellation,
+        # injected fault) below leaves the catalog without a partial index.
+        checkpoint("index.hash", rows=len(self.relation))
         relation = self.relation
         index = {}
         if not signature:
@@ -98,6 +103,7 @@ class IndexCatalog:
             keys = set(existing)
         else:
             self.misses += 1
+            checkpoint("index.keys", rows=len(self.relation))
             if not signature:
                 keys = {()} if len(self.relation) else set()
             elif len(signature) == 1:
@@ -135,6 +141,7 @@ class IndexCatalog:
             self.hits += 1
             return values
         self.misses += 1
+        checkpoint("index.weights", rows=len(self.relation))
         relation = self.relation
         derived = relation.parent_view()
         if derived is not None:
@@ -161,6 +168,7 @@ class IndexCatalog:
             self.hits += 1
             return order
         self.misses += 1
+        checkpoint("index.order", rows=len(self.relation))
         relation = self.relation
         derived = relation.parent_view()
         if derived is not None:
@@ -192,6 +200,7 @@ class IndexCatalog:
             self.hits += 1
             return self._orders[signature]
         self.misses += 1
+        checkpoint("index.memo")
         value = compute()
         self._orders[signature] = value
         return value

@@ -44,26 +44,42 @@ def load_relation_csv(path: str | Path, name: str | None = None) -> Relation:
     Raises
     ------
     SchemaError
-        If the file is empty or a row has the wrong number of columns.
+        If the file is empty, a row has the wrong number of columns, or the
+        CSV itself is malformed.  The message always names the relation and
+        the offending row number.
     """
     path = Path(path)
+    relation_name = name or path.stem
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         try:
             header = next(reader)
         except StopIteration:
-            raise SchemaError(f"CSV file {path} is empty (no header row)") from None
+            raise SchemaError(
+                f"relation {relation_name!r}: CSV file {path} is empty (no header row)"
+            ) from None
+        except csv.Error as error:
+            raise SchemaError(
+                f"relation {relation_name!r}: malformed CSV header in {path}: {error}"
+            ) from error
         schema = tuple(column.strip() for column in header)
         rows = []
-        for line_number, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            if len(row) != len(schema):
-                raise SchemaError(
-                    f"{path}:{line_number}: expected {len(schema)} columns, got {len(row)}"
-                )
-            rows.append(tuple(parse_value(cell.strip()) for cell in row))
-    return Relation(name or path.stem, schema, rows)
+        try:
+            for line_number, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != len(schema):
+                    raise SchemaError(
+                        f"relation {relation_name!r} ({path}), row {line_number}: "
+                        f"expected {len(schema)} columns, got {len(row)}"
+                    )
+                rows.append(tuple(parse_value(cell.strip()) for cell in row))
+        except csv.Error as error:
+            raise SchemaError(
+                f"relation {relation_name!r} ({path}), row {reader.line_num}: "
+                f"malformed CSV: {error}"
+            ) from error
+    return Relation(relation_name, schema, rows)
 
 
 def save_relation_csv(relation: Relation, path: str | Path) -> None:

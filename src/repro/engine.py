@@ -30,8 +30,9 @@ Quick start
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.approx.lossy_sum_trim import LossySumTrimmer
@@ -40,7 +41,15 @@ from repro.baselines.materialize import select_from_sorted, sorted_answers
 from repro.core.quantile import phi_for_index, pivoting_quantile, target_index_for
 from repro.core.result import QuantileResult
 from repro.data.database import Database
-from repro.exceptions import IntractableQueryError, RankingError, SolverError
+from repro.exceptions import (
+    BudgetExceededError,
+    DegradedResultWarning,
+    IntractableQueryError,
+    RankingError,
+    SolverError,
+    TrimmingError,
+    ValidationError,
+)
 from repro.joins.counting import count_from_tree
 from repro.joins.tree_cache import TreeCache
 from repro.joins.yannakakis import full_reduce
@@ -57,6 +66,8 @@ from repro.ranking.base import RankingFunction
 from repro.ranking.lex import LexRanking
 from repro.ranking.minmax import MaxRanking, MinRanking
 from repro.ranking.sum import SumRanking
+from repro.runtime import CancellationToken, ExecutionContext, checkpoint
+from repro.runtime.policy import degradation_ladder, validate_policy
 from repro.trim.base import Trimmer
 from repro.trim.lex_trim import LexTrimmer
 from repro.trim.minmax_trim import MinMaxTrimmer
@@ -73,6 +84,10 @@ DEFAULT_PIVOT_CACHE_LIMIT = 256
 #: ``termination_factor x |D|`` materialized answers, so this bound — not the
 #: pivot cache's — dominates the engine's memory ceiling.
 DEFAULT_ANSWER_CACHE_LIMIT = 32
+
+#: Sentinel distinguishing "knob not passed" from an explicit ``None``
+#: (which disables an engine-wide default budget for one prepared query).
+_UNSET: Any = object()
 
 
 @dataclass(frozen=True)
@@ -148,6 +163,26 @@ class PreparedQuery:
         are materialized at the end — for fewer pivoting rounds, whose
         terminal sorted answers are then shared across φ values through the
         answer cache.  Results stay exact either way.
+    timeout:
+        Wall-clock budget in seconds per execution call; ``None`` (default)
+        disables the deadline.
+    max_rows:
+        Per-execution budget on the total number of rows processed through
+        runtime checkpoints — a deterministic proxy for work and memory.
+    on_budget:
+        What to do when a budget trips (see
+        :data:`repro.runtime.policy.DEGRADATION_POLICIES`): ``"error"``
+        (default) raises :class:`~repro.exceptions.BudgetExceededError`;
+        ``"approx"``, ``"sampling"``, and ``"materialize"`` retry once with
+        that strategy under a fresh budget; ``"degrade"`` walks the full
+        ladder approx → sampling → materialize.  Degraded results carry
+        ``degraded=True`` and a :class:`~repro.exceptions.DegradedResultWarning`
+        is issued.
+    cancellation:
+        Optional shared :class:`~repro.runtime.CancellationToken`; cancelling
+        it aborts any in-flight execution at its next checkpoint.
+        Cancellation is never degraded — it always propagates as
+        :class:`~repro.exceptions.ExecutionCancelledError`.
     """
 
     def __init__(
@@ -160,6 +195,10 @@ class PreparedQuery:
         seed: int | None = None,
         pivot_cache_limit: int = DEFAULT_PIVOT_CACHE_LIMIT,
         termination_factor: int = 12,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        on_budget: str = "error",
+        cancellation: CancellationToken | None = None,
     ) -> None:
         if isinstance(query, str):
             query = JoinQuery.parse(query)
@@ -168,12 +207,21 @@ class PreparedQuery:
         if strategy not in STRATEGIES:
             raise SolverError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
         ranking.validate_for(query.variables)
+        if timeout is not None and timeout <= 0:
+            raise ValidationError(f"timeout must be positive, got {timeout!r}")
+        if max_rows is not None and max_rows <= 0:
+            raise ValidationError(f"max_rows must be positive, got {max_rows!r}")
+        validate_policy(on_budget)
         self.query = query
         self.db = db
         self.ranking = ranking
         self.epsilon = epsilon
         self.strategy = strategy
         self.seed = seed
+        self.timeout = timeout
+        self.max_rows = max_rows
+        self.on_budget = on_budget
+        self.cancellation = cancellation
         if termination_factor < 1:
             raise SolverError("termination_factor must be at least 1")
         self.termination_factor = termination_factor
@@ -184,16 +232,15 @@ class PreparedQuery:
         self._rooted_tree: RootedJoinTree | None = None
         self._reduced_db: Database | None = None
         self._total: int | None = None
-        self._trimmer: Trimmer | None = None
         self._materialized: list | None = None
-        self._pivot_cache: _CappedCache | None = (
-            _CappedCache(pivot_cache_limit) if pivot_cache_limit > 0 else None
-        )
-        self._answer_cache: _CappedCache | None = (
-            _CappedCache(min(pivot_cache_limit, DEFAULT_ANSWER_CACHE_LIMIT))
-            if pivot_cache_limit > 0
-            else None
-        )
+        # Per-strategy state: degradation may run several pivoting strategies
+        # over this prepared query's lifetime, and exact and lossy trims must
+        # never share interval-keyed caches (their trimmed sub-databases and
+        # partition counts differ for the same interval).
+        self._trimmers: dict[str, Trimmer] = {}
+        self._pivot_cache_limit = pivot_cache_limit
+        self._pivot_caches: dict[str, _CappedCache] = {}
+        self._answer_caches: dict[str, _CappedCache] = {}
         # One materialized tree per (query, database) pair, shared by
         # counting, reduction, pivot selection, and terminal enumeration
         # across all executions of this prepared query.
@@ -210,18 +257,34 @@ class PreparedQuery:
         same planning errors a lazy first execution would (e.g.
         :class:`IntractableQueryError` for an exact-intractable SUM query
         without ``epsilon``).
+
+        Under budgets the eager pass runs inside its own execution context: a
+        budget trip leaves the remaining preprocessing lazy (every ensure
+        step is idempotent and publishes atomically), so the first execution
+        call re-trips and applies the degradation policy there.  Cancellation
+        propagates.
         """
+        if not self._has_guards():
+            self._prepare_all()
+            return self
+        try:
+            with self._fresh_context():
+                self._prepare_all()
+        except BudgetExceededError:
+            pass
+        return self
+
+    def _prepare_all(self) -> None:
         plan = self.plan()
         if plan.strategy in ("exact-pivot", "approx-pivot"):
             self._ensure_reduced()
             self._ensure_total()
-            self._ensure_trimmer(plan)
+            self._ensure_trimmer(plan.strategy)
         elif plan.strategy == "sampling":
             self._ensure_canonical()
             self._ensure_total()
         elif plan.strategy == "materialize":
             self._ensure_materialized()
-        return self
 
     def classification(self) -> SumClassification:
         """Dichotomy classification of the (query, ranking) pair (cached)."""
@@ -295,7 +358,7 @@ class PreparedQuery:
         phis = list(phis)
         for phi in phis:
             if not isinstance(phi, (int, float)) or not 0.0 <= float(phi) <= 1.0:
-                raise ValueError(f"phi must be in [0, 1], got {phi!r}")
+                raise ValidationError(f"phi must be in [0, 1], got {phi!r}")
         return [self._solve(phi=float(phi)) for phi in phis]
 
     def selection(self, index: int) -> QuantileResult:
@@ -338,47 +401,151 @@ class PreparedQuery:
             self._materialized = sorted_answers(self.query, self.db, self.ranking)
         return self._materialized
 
-    def _ensure_trimmer(self, plan: SolverPlan) -> Trimmer:
-        if self._trimmer is not None:
-            return self._trimmer
-        if plan.strategy == "approx-pivot":
+    def _ensure_trimmer(self, strategy: str) -> Trimmer:
+        """The trimmer for one pivoting strategy (cached per strategy).
+
+        Keyed by strategy, not shared: the lossy trimmer of ``approx-pivot``
+        and the exact trimmers must never be confused when degradation runs
+        both over this prepared query's lifetime.
+        """
+        trimmer = self._trimmers.get(strategy)
+        if trimmer is not None:
+            return trimmer
+        if strategy == "approx-pivot":
             if self.epsilon is None:
                 raise SolverError("the approx-pivot strategy requires epsilon")
             if not isinstance(self.ranking, SumRanking):
                 raise SolverError("the approx-pivot strategy only applies to SUM rankings")
-            self._trimmer = LossySumTrimmer(self.ranking, epsilon=self.epsilon / 4.0)
-            return self._trimmer
-        if isinstance(self.ranking, (MinRanking, MaxRanking)):
-            self._trimmer = MinMaxTrimmer(self.ranking)
+            trimmer = LossySumTrimmer(self.ranking, epsilon=self.epsilon / 4.0)
+        elif isinstance(self.ranking, (MinRanking, MaxRanking)):
+            trimmer = MinMaxTrimmer(self.ranking)
         elif isinstance(self.ranking, LexRanking):
-            self._trimmer = LexTrimmer(self.ranking)
+            trimmer = LexTrimmer(self.ranking)
         elif isinstance(self.ranking, SumRanking):
-            if not plan.classification.is_tractable and self.strategy == "exact-pivot":
+            classification = self.classification()
+            if not classification.is_tractable and self.strategy == "exact-pivot":
                 raise IntractableQueryError(
                     "exact-pivot was forced but the SUM query is conditionally "
-                    f"intractable: {plan.classification.reason}"
+                    f"intractable: {classification.reason}"
                 )
-            self._trimmer = SumAdjacentTrimmer(self.ranking)
+            trimmer = SumAdjacentTrimmer(self.ranking)
         else:
             raise RankingError(
                 f"no exact trimming construction is known for {self.ranking.describe()}"
             )
-        return self._trimmer
+        self._trimmers[strategy] = trimmer
+        return trimmer
+
+    def _strategy_caches(
+        self, strategy: str
+    ) -> tuple[_CappedCache | None, _CappedCache | None]:
+        """Pivot and answer caches for one strategy (created on first use).
+
+        Exact and lossy executions key both caches by candidate weight
+        interval, but their entries are not interchangeable — a lossy trim of
+        the same interval drops answers an exact trim keeps — so each
+        strategy owns a separate pair.
+        """
+        if self._pivot_cache_limit <= 0:
+            return None, None
+        pivot = self._pivot_caches.get(strategy)
+        if pivot is None:
+            pivot = self._pivot_caches[strategy] = _CappedCache(self._pivot_cache_limit)
+            self._answer_caches[strategy] = _CappedCache(
+                min(self._pivot_cache_limit, DEFAULT_ANSWER_CACHE_LIMIT)
+            )
+        return pivot, self._answer_caches[strategy]
 
     # ------------------------------------------------------------------ #
     # Strategy dispatch
     # ------------------------------------------------------------------ #
+    def _has_guards(self) -> bool:
+        """Whether any budget or cancellation token is configured."""
+        return (
+            self.timeout is not None
+            or self.max_rows is not None
+            or self.cancellation is not None
+        )
+
+    def _fresh_context(self) -> ExecutionContext:
+        """A new execution context carrying this query's full budgets.
+
+        Each execution call — and each degradation rung — gets a *fresh*
+        deadline and row budget, so a single-rung ``on_budget`` policy is
+        bounded by roughly twice the configured budget in total.
+        """
+        return ExecutionContext(
+            timeout=self.timeout,
+            max_rows=self.max_rows,
+            cancellation=self.cancellation,
+        )
+
     def _solve(self, phi: float | None = None, index: int | None = None) -> QuantileResult:
         if (phi is None) == (index is None):
-            raise ValueError("exactly one of phi and index must be provided")
+            raise ValidationError("exactly one of phi and index must be provided")
         plan = self.plan()
-        if plan.strategy == "materialize":
+        if not self._has_guards():
+            return self._execute(plan.strategy, phi, index)
+        try:
+            with self._fresh_context():
+                return self._execute(plan.strategy, phi, index)
+        except BudgetExceededError as tripped:
+            return self._degrade(plan.strategy, tripped, phi, index)
+
+    def _degrade(
+        self,
+        planned: str,
+        tripped: BudgetExceededError,
+        phi: float | None,
+        index: int | None,
+    ) -> QuantileResult:
+        """Walk the degradation ladder after ``planned`` tripped a budget.
+
+        Every rung runs under a fresh budget.  A rung that trips again (or
+        turns out to be invalid for this query) is skipped; cancellation
+        always propagates.  If no rung succeeds, the last budget error is
+        re-raised.
+        """
+        first = tripped
+        ladder = degradation_ladder(
+            self.on_budget,
+            planned,
+            approx_available=(
+                isinstance(self.ranking, SumRanking) and self.epsilon is not None
+            ),
+            sampling_available=self.epsilon is not None,
+        )
+        for rung in ladder:
+            try:
+                with self._fresh_context():
+                    result = self._execute(rung, phi, index)
+            except BudgetExceededError as again:
+                tripped = again
+                continue
+            except (SolverError, TrimmingError, RankingError, IntractableQueryError):
+                # The rung is invalid for this (query, ranking); try the next.
+                continue
+            note = (
+                f"{planned} -> {rung} "
+                f"({first.budget} budget tripped at {first.checkpoint!r})"
+            )
+            warnings.warn(DegradedResultWarning(note), stacklevel=4)
+            return replace(result, degraded=True, degradation=note)
+        raise tripped
+
+    def _execute(
+        self, strategy: str, phi: float | None = None, index: int | None = None
+    ) -> QuantileResult:
+        """Run one concrete strategy (planned or a degradation rung)."""
+        checkpoint("engine.execute")
+        if strategy == "materialize":
             return self._solve_by_materialization(phi=phi, index=index)
-        if plan.strategy == "sampling":
+        if strategy == "sampling":
             return self._solve_by_sampling(phi=phi, index=index)
-        if plan.strategy in ("exact-pivot", "approx-pivot"):
-            trimmer = self._ensure_trimmer(plan)
+        if strategy in ("exact-pivot", "approx-pivot"):
+            trimmer = self._ensure_trimmer(strategy)
             base_query, base_db = self._ensure_reduced()
+            pivot_cache, answer_cache = self._strategy_caches(strategy)
             return pivoting_quantile(
                 base_query,
                 base_db,
@@ -386,14 +553,14 @@ class PreparedQuery:
                 trimmer,
                 phi=phi,
                 index=index,
-                epsilon=self.epsilon if plan.strategy == "approx-pivot" else None,
+                epsilon=self.epsilon if strategy == "approx-pivot" else None,
                 termination_size=self.termination_factor * max(base_db.size, 1),
                 total=self._ensure_total(),
-                pivot_cache=self._pivot_cache,
-                answer_cache=self._answer_cache,
+                pivot_cache=pivot_cache,
+                answer_cache=answer_cache,
                 tree_cache=self._tree_cache,
             )
-        raise SolverError(f"unhandled strategy {plan.strategy!r}")
+        raise SolverError(f"unhandled strategy {strategy!r}")
 
     def _solve_by_materialization(
         self, phi: float | None = None, index: int | None = None
@@ -445,8 +612,8 @@ class PreparedQuery:
     # ------------------------------------------------------------------ #
     @property
     def pivot_cache_size(self) -> int:
-        """Number of memoized pivoting iterations currently held."""
-        return len(self._pivot_cache) if self._pivot_cache is not None else 0
+        """Number of memoized pivoting iterations currently held (all strategies)."""
+        return sum(len(cache) for cache in self._pivot_caches.values())
 
     @property
     def tree_cache(self) -> TreeCache:
@@ -455,10 +622,8 @@ class PreparedQuery:
 
     def clear_pivot_cache(self) -> None:
         """Drop the memoized pivoting iterations (prepared state is kept)."""
-        if self._pivot_cache is not None:
-            self._pivot_cache.clear()
-        if self._answer_cache is not None:
-            self._answer_cache.clear()
+        self._pivot_caches.clear()
+        self._answer_caches.clear()
         self._tree_cache.clear()
 
     def __repr__(self) -> str:
@@ -490,6 +655,10 @@ class Engine:
         Whether :meth:`prepare` memoizes prepared queries.  Rankings with
         custom per-variable weight functions are never memoized (their
         signatures are not reliably comparable).
+    timeout, max_rows, on_budget:
+        Engine-wide execution-guardrail defaults, applied to every prepared
+        query unless overridden per :meth:`prepare` call (see
+        :class:`PreparedQuery` for semantics).
     """
 
     def __init__(
@@ -497,10 +666,21 @@ class Engine:
         db: Database,
         pivot_cache_limit: int = DEFAULT_PIVOT_CACHE_LIMIT,
         memoize: bool = True,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        on_budget: str = "error",
     ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValidationError(f"timeout must be positive, got {timeout!r}")
+        if max_rows is not None and max_rows <= 0:
+            raise ValidationError(f"max_rows must be positive, got {max_rows!r}")
+        validate_policy(on_budget)
         self.db = db
         self.pivot_cache_limit = pivot_cache_limit
         self.memoize = memoize
+        self.timeout = timeout
+        self.max_rows = max_rows
+        self.on_budget = on_budget
         self._prepared: dict[tuple, PreparedQuery] = {}
 
     # ------------------------------------------------------------------ #
@@ -513,6 +693,10 @@ class Engine:
         seed: int | None = None,
         eager: bool = True,
         termination_factor: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        max_rows: int | None = _UNSET,  # type: ignore[assignment]
+        on_budget: str | None = None,
+        cancellation: CancellationToken | None = None,
     ) -> PreparedQuery:
         """Plan a (query, ranking) pair once and return the prepared query.
 
@@ -531,15 +715,37 @@ class Engine:
             Per-query override of the memory/speed trade-off (see
             :class:`PreparedQuery`); ``None`` uses the class default.  Pass 1
             to keep Algorithm 1's ``|D|`` memory bound.
+        timeout, max_rows, on_budget, cancellation:
+            Per-query execution guardrails (see :class:`PreparedQuery`);
+            unspecified knobs inherit the engine-wide defaults.  A prepared
+            query carrying a cancellation token is never memoized — the
+            token is per-caller state.
         """
         if isinstance(query, str):
             query = JoinQuery.parse(query)
         if isinstance(ranking, str):
             ranking = parse_ranking(ranking)
+        if timeout is _UNSET:
+            timeout = self.timeout
+        if max_rows is _UNSET:
+            max_rows = self.max_rows
+        if on_budget is None:
+            on_budget = self.on_budget
         kwargs: dict = {}
         if termination_factor is not None:
             kwargs["termination_factor"] = termination_factor
-        key = self._signature(query, ranking, epsilon, strategy, seed, termination_factor)
+        key = self._signature(
+            query,
+            ranking,
+            epsilon,
+            strategy,
+            seed,
+            termination_factor,
+            timeout,
+            max_rows,
+            on_budget,
+            cancellation,
+        )
         if key is not None and key in self._prepared:
             prepared = self._prepared[key]
         else:
@@ -551,6 +757,10 @@ class Engine:
                 strategy=strategy,
                 seed=seed,
                 pivot_cache_limit=self.pivot_cache_limit,
+                timeout=timeout,
+                max_rows=max_rows,
+                on_budget=on_budget,
+                cancellation=cancellation,
                 **kwargs,
             )
             if key is not None:
@@ -567,9 +777,17 @@ class Engine:
         strategy: str,
         seed: int | None,
         termination_factor: int | None,
+        timeout: float | None,
+        max_rows: int | None,
+        on_budget: str,
+        cancellation: CancellationToken | None,
     ) -> tuple | None:
         """Memoization key for a prepared query, or None if not memoizable."""
         if not self.memoize or getattr(ranking, "_weights", None):
+            return None
+        if cancellation is not None:
+            # A cancellation token is per-caller, mutable state: sharing the
+            # prepared query would let one caller's cancel abort another's.
             return None
         return (
             query,
@@ -579,6 +797,9 @@ class Engine:
             strategy,
             seed,
             termination_factor,
+            timeout,
+            max_rows,
+            on_budget,
         )
 
     # ------------------------------------------------------------------ #

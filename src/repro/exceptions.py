@@ -65,3 +65,64 @@ class IntractableQueryError(ReproError):
 
 class SolverError(ReproError):
     """The quantile solver reached an inconsistent internal state."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A caller-supplied parameter is out of its documented domain.
+
+    Raised, for example, for a φ outside ``[0, 1]`` or a selection index
+    outside ``[0, |Q(D)|)``.  Derives from :class:`ValueError` as well, so
+    both the documented "catch :class:`ReproError`" contract and historical
+    ``except ValueError`` callers keep working.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """An execution exceeded one of its configured budgets.
+
+    Raised cooperatively from a checkpoint inside a hot loop when the active
+    :class:`~repro.runtime.context.ExecutionContext`'s wall-clock deadline or
+    row budget is exhausted.  The engine catches it to apply the configured
+    degradation policy; it only escapes to callers under the ``"error"``
+    policy (or when every fallback rung also tripped).
+
+    Attributes
+    ----------
+    budget:
+        Which budget tripped: ``"timeout"`` or ``"rows"``.
+    checkpoint:
+        Name of the checkpoint that detected the trip.
+    """
+
+    def __init__(self, message: str, budget: str = "timeout", checkpoint: str = "") -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.checkpoint = checkpoint
+
+
+class ExecutionCancelledError(ReproError):
+    """The execution's cooperative cancellation token was triggered.
+
+    Unlike :class:`BudgetExceededError`, cancellation is never subject to
+    degradation: a cancelled call aborts and propagates, whatever the
+    ``on_budget`` policy says.
+
+    Attributes
+    ----------
+    checkpoint:
+        Name of the checkpoint that observed the cancellation.
+    """
+
+    def __init__(self, message: str, checkpoint: str = "") -> None:
+        super().__init__(message)
+        self.checkpoint = checkpoint
+
+
+class DegradedResultWarning(UserWarning):
+    """A budgeted execution fell back to a cheaper strategy.
+
+    Issued via :func:`warnings.warn` when the engine's degradation policy
+    replaces the planned strategy after a tripped budget; the returned
+    :class:`~repro.core.result.QuantileResult` carries the same information
+    in its ``degraded``/``degradation`` fields.
+    """

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.data.database import Database
 from repro.joins.message_passing import MaterializedTree
 from repro.query.join_query import JoinQuery
+from repro.runtime import checkpoint
 
 
 def subtree_counts(tree: MaterializedTree) -> dict[int, list[int]]:
@@ -30,6 +31,7 @@ def subtree_counts(tree: MaterializedTree) -> dict[int, list[int]]:
     counts: dict[int, list[int]] = {}
     for node in tree.nodes_bottom_up():
         rows = tree.rows(node)
+        checkpoint("counting.node", rows=len(rows))
         node_counts = [1] * len(rows)
         for child in tree.children(node):
             groups = tree.child_groups(node, child)

@@ -16,6 +16,7 @@ from repro.data.database import Database
 from repro.exceptions import QueryError
 from repro.query.join_query import JoinQuery
 from repro.query.join_tree import RootedJoinTree, build_join_tree
+from repro.runtime import checkpoint
 
 Row = tuple[Any, ...]
 Assignment = dict[str, Any]
@@ -61,6 +62,7 @@ class MaterializedTree:
         self.node_rows: dict[int, list[Row]] = {}
         for node in self.rooted.tree.nodes():
             variables, rows = _materialize_atom(query, db, node)
+            checkpoint("tree.materialize", rows=len(rows))
             self.node_variables[node] = variables
             self.node_rows[node] = rows
         # child group indexes: (parent, child) -> {key: [child row indices]}
@@ -78,6 +80,7 @@ class MaterializedTree:
                     parent_vars.index(v) for v in join_vars
                 ]
                 positions = [self.node_variables[child].index(v) for v in join_vars]
+                checkpoint("tree.group", rows=len(self.node_rows[child]))
                 groups: dict[Row, list[int]] = {}
                 for index, row in enumerate(self.node_rows[child]):
                     key = tuple(row[p] for p in positions)

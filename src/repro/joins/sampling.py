@@ -15,6 +15,7 @@ from repro.data.database import Database
 from repro.exceptions import EmptyResultError
 from repro.joins.direct_access import DirectAccess
 from repro.query.join_query import JoinQuery
+from repro.runtime import checkpoint
 
 Assignment = dict[str, Any]
 
@@ -61,6 +62,7 @@ class AnswerSampler:
 
     def sample(self) -> Assignment:
         """Return one uniformly random query answer."""
+        checkpoint("sampling.sample", rows=1)
         index = self._rng.randrange(len(self.access))
         return self.access[index]
 

@@ -34,6 +34,7 @@ from repro.data.database import Database
 from repro.joins.message_passing import MaterializedTree
 from repro.query.join_query import JoinQuery
 from repro.query.join_tree import RootedJoinTree
+from repro.runtime import checkpoint
 
 #: Default cap on cached trees.  Each entry holds the materialized rows and
 #: join-group indexes of one (query, database) pair, so the cache's memory is
@@ -107,6 +108,10 @@ class TreeCache:
                 return tree
             del self._entries[key]
         self.misses += 1
+        # Build fully before publishing: if the construction is interrupted
+        # (budget trip, cancellation, injected fault) no entry is installed
+        # and the next call rebuilds from scratch.
+        checkpoint("tree_cache.build")
         tree = MaterializedTree(query, db, rooted=rooted)
         relations = tuple(db)
         self._entries[key] = (query, db, relations, database_fingerprint(db), tree)

@@ -19,6 +19,7 @@ from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.joins.message_passing import MaterializedTree
 from repro.query.join_query import JoinQuery
+from repro.runtime import checkpoint
 
 Assignment = dict[str, Any]
 Row = tuple[Any, ...]
@@ -33,6 +34,7 @@ def _reduced_row_flags(tree: MaterializedTree) -> dict[int, list[bool]]:
     # Bottom-up: a row dies if some child join group has no surviving row.
     for node in tree.nodes_bottom_up():
         rows = tree.rows(node)
+        checkpoint("yannakakis.reduce", rows=len(rows))
         for child in tree.children(node):
             groups = tree.child_groups(node, child)
             child_alive = alive[child]
@@ -49,6 +51,7 @@ def _reduced_row_flags(tree: MaterializedTree) -> dict[int, list[bool]]:
     # Top-down: a child row dies if no surviving parent row selects its group.
     for node in tree.nodes_top_down():
         rows = tree.rows(node)
+        checkpoint("yannakakis.reduce", rows=len(rows))
         for child in tree.children(node):
             groups = tree.child_groups(node, child)
             selected_keys = {
@@ -166,6 +169,7 @@ def evaluate(
                 row = node_rows[node][candidates[slot][cursors[slot]]]
                 assignment.update(zip(node_variables[node], row))
             answers.append(assignment)
+            checkpoint("yannakakis.answer", rows=1)
             if limit is not None and len(answers) >= limit:
                 return answers
             position -= 1

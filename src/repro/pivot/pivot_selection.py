@@ -24,6 +24,7 @@ from repro.pivot.weighted_median import weighted_median
 from repro.query.join_query import JoinQuery
 from repro.query.join_tree import RootedJoinTree
 from repro.ranking.base import RankingFunction
+from repro.runtime import checkpoint
 
 Assignment = dict[str, Any]
 
@@ -99,6 +100,7 @@ def select_pivot(
 
     for node in tree.nodes_bottom_up():
         rows = tree.rows(node)
+        checkpoint("pivot.node", rows=len(rows))
         node_counts = counts[node]
         node_pivots: list[Assignment | None] = [
             tree.assignment(node, row) if node_counts[i] > 0 else None

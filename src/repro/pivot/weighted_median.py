@@ -15,6 +15,8 @@ import random
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
+from repro.runtime import checkpoint
+
 Item = TypeVar("Item")
 
 _rng = random.Random(0x5EED)
@@ -72,6 +74,7 @@ def _weighted_select(
     while True:
         if len(pairs) == 1:
             return pairs[0][0]
+        checkpoint("pivot.median", rows=len(pairs))
         pivot_item, _ = pairs[_rng.randrange(len(pairs))]
         pivot_key = key(pivot_item)
         less: list[tuple[Item, int]] = []

@@ -1,0 +1,37 @@
+"""Execution guardrails: budgets, cooperative cancellation, degradation.
+
+The runtime subsystem carries cross-cutting execution limits through the
+whole solve stack without threading a parameter into every call:
+
+* :class:`~repro.runtime.context.ExecutionContext` holds a wall-clock
+  deadline, a row budget, and a cooperative
+  :class:`~repro.runtime.context.CancellationToken`; activating it (as a
+  context manager) makes it ambient for the current (logical) thread.
+* Hot loops call :func:`~repro.runtime.context.checkpoint` — a few
+  nanoseconds when no context is active — which raises
+  :class:`~repro.exceptions.BudgetExceededError` or
+  :class:`~repro.exceptions.ExecutionCancelledError` when a limit trips.
+* The :class:`~repro.engine.Engine` reacts to a tripped budget with the
+  configured degradation policy (:mod:`repro.runtime.policy`): error out, or
+  fall back down the ladder exact → approx/sampling → materialize.
+* The same checkpoints double as deterministic fault-injection points for
+  :mod:`repro.testing.faults`, which proves that an interruption anywhere in
+  a cache build leaves every cache consistent.
+"""
+
+from repro.runtime.context import (
+    CancellationToken,
+    ExecutionContext,
+    checkpoint,
+    current_context,
+)
+from repro.runtime.policy import DEGRADATION_POLICIES, degradation_ladder
+
+__all__ = [
+    "CancellationToken",
+    "ExecutionContext",
+    "checkpoint",
+    "current_context",
+    "DEGRADATION_POLICIES",
+    "degradation_ladder",
+]

@@ -1,0 +1,88 @@
+"""Degradation policies: what the engine does when a budget trips.
+
+The paper's dichotomy (Theorem 5.6) already forces one "fall back when exact
+is intractable" decision; this module generalizes it into a uniform policy
+for *any* tripped budget.  The degradation ladder orders the strategies by
+how much work they give up::
+
+    exact (pivot or materialize)  →  approx-pivot  →  sampling  →  error
+
+``approx-pivot`` (deterministic ε-approximation, SUM rankings only) and
+``sampling`` (randomized ε-approximation) both need an ``epsilon``;
+``materialize`` is the exact always-valid fallback for validity failures but
+is also the most expensive strategy, so it sits at the *end* of the
+``degrade`` ladder — it is only attempted when every approximation is
+unavailable or also tripped.
+
+Each fallback rung runs under a **fresh budget equal to the original**, so a
+single-rung policy (e.g. ``on_budget="sampling"``) returns or errors within
+roughly twice the configured deadline.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SolverError
+
+#: Accepted values of the engine's ``on_budget`` knob.
+#:
+#: * ``"error"`` — raise :class:`~repro.exceptions.BudgetExceededError`.
+#: * ``"approx"`` — retry once with the deterministic ε-approximation
+#:   (``approx-pivot``; SUM rankings with ``epsilon`` only).
+#: * ``"sampling"`` — retry once with the randomized sampling strategy
+#:   (needs ``epsilon``).
+#: * ``"materialize"`` — retry once with exact materialize-and-select.
+#: * ``"degrade"`` — walk the full ladder: approx-pivot, then sampling,
+#:   then materialize, then error.
+DEGRADATION_POLICIES = ("error", "approx", "sampling", "materialize", "degrade")
+
+_POLICY_RUNGS = {
+    "error": (),
+    "approx": ("approx-pivot",),
+    "sampling": ("sampling",),
+    "materialize": ("materialize",),
+    "degrade": ("approx-pivot", "sampling", "materialize"),
+}
+
+
+def validate_policy(policy: str) -> str:
+    """Check an ``on_budget`` value, returning it for chaining."""
+    if policy not in DEGRADATION_POLICIES:
+        raise SolverError(
+            f"unknown on_budget policy {policy!r}; expected one of "
+            f"{DEGRADATION_POLICIES}"
+        )
+    return policy
+
+
+def degradation_ladder(
+    policy: str,
+    planned: str,
+    approx_available: bool,
+    sampling_available: bool,
+) -> list[str]:
+    """The fallback strategies to attempt, in order, after a tripped budget.
+
+    Parameters
+    ----------
+    policy:
+        The configured ``on_budget`` policy.
+    planned:
+        The strategy that tripped (never retried — it already failed under
+        this budget).
+    approx_available:
+        Whether ``approx-pivot`` is valid for the query (SUM ranking with an
+        ``epsilon``).
+    sampling_available:
+        Whether ``sampling`` is valid (an ``epsilon`` was provided).
+    """
+    validate_policy(policy)
+    ladder = []
+    for rung in _POLICY_RUNGS[policy]:
+        if rung == planned:
+            continue
+        if rung == "approx-pivot" and not approx_available:
+            continue
+        if rung == "sampling" and not sampling_available:
+            continue
+        ladder.append(rung)
+    return ladder

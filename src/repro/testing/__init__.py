@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+Only :mod:`repro.testing.faults` lives here: a deterministic fault-injection
+harness built on the runtime checkpoints.  It ships inside the package (not
+under ``tests/``) so downstream users can exercise their own integrations
+against injected failures.
+"""
+
+from repro.testing.faults import FaultPlan, InjectedFault, inject_faults
+
+__all__ = ["FaultPlan", "InjectedFault", "inject_faults"]

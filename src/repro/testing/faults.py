@@ -1,0 +1,117 @@
+"""Deterministic fault injection at runtime checkpoints.
+
+Every :func:`repro.runtime.checkpoint` call site is a named, reproducible
+fault point.  A test arms a :class:`FaultPlan` with the checkpoint name and
+the occurrence number at which to blow up, activates it with
+:func:`inject_faults`, and runs the workload::
+
+    plan = FaultPlan().arm("index.hash", after=2)
+    with inject_faults(plan):
+        with pytest.raises(InjectedFault):
+            engine.prepare(query, db, ranking)
+    # caches must now be as if the failed call never happened
+    assert engine.prepare(query, db, ranking).quantile(0.5) == expected
+
+Because checkpoints fire in a deterministic order for a deterministic
+workload, ``after=N`` always interrupts the same position in the same loop —
+no timing, no randomness.  The plan records every checkpoint it observes
+(:attr:`FaultPlan.seen`) and every fault it fired (:attr:`FaultPlan.fired`),
+so tests can also assert coverage ("the fault actually hit mid-build").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.exceptions import ReproError
+from repro.runtime.context import set_fault_hook
+
+
+class InjectedFault(ReproError):
+    """The error raised by an armed fault (unless a custom one is supplied).
+
+    Derives from :class:`~repro.exceptions.ReproError` so the engine's
+    degradation machinery treats it like any other library failure: it is
+    *not* a budget trip, so it propagates instead of being degraded away.
+    """
+
+    def __init__(self, checkpoint: str, occurrence: int) -> None:
+        super().__init__(
+            f"injected fault at checkpoint {checkpoint!r} "
+            f"(occurrence {occurrence})"
+        )
+        self.checkpoint = checkpoint
+        self.occurrence = occurrence
+
+
+class FaultPlan:
+    """A set of armed faults plus a record of what actually happened.
+
+    Attributes
+    ----------
+    seen:
+        ``Counter`` of every checkpoint name observed while the plan was
+        active (fired or not) — lets a test assert a checkpoint exists before
+        trusting a "fault survived" result.
+    fired:
+        List of ``(checkpoint, occurrence)`` pairs for faults that raised.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, tuple[int, BaseException | None]] = {}
+        self.seen: Counter[str] = Counter()
+        self.fired: list[tuple[str, int]] = []
+
+    def arm(
+        self,
+        checkpoint: str,
+        after: int = 0,
+        error: BaseException | None = None,
+    ) -> "FaultPlan":
+        """Arm a one-shot fault; returns ``self`` for chaining.
+
+        Parameters
+        ----------
+        checkpoint:
+            Checkpoint name to fire at (exact match).
+        after:
+            Number of occurrences of the checkpoint to let pass first;
+            ``after=0`` fires on the first hit.
+        error:
+            Exception instance to raise instead of :class:`InjectedFault`.
+        """
+        if after < 0:
+            raise ValueError(f"after must be >= 0, got {after!r}")
+        self._armed[checkpoint] = (after, error)
+        return self
+
+    def observe(self, name: str) -> None:
+        """The fault hook: count the checkpoint, fire if armed and due."""
+        self.seen[name] += 1
+        armed = self._armed.get(name)
+        if armed is None:
+            return
+        remaining, error = armed
+        if remaining > 0:
+            self._armed[name] = (remaining - 1, error)
+            return
+        del self._armed[name]
+        occurrence = self.seen[name]
+        self.fired.append((name, occurrence))
+        raise error if error is not None else InjectedFault(name, occurrence)
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` as the process-wide fault hook for the block.
+
+    The previous hook (normally ``None``) is restored on exit, even when the
+    injected fault propagates out of the block.
+    """
+    previous = set_fault_hook(plan.observe)
+    try:
+        yield plan
+    finally:
+        set_fault_hook(previous)

@@ -24,6 +24,7 @@ from repro.data.relation import Relation
 from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
 from repro.query.rewrite import ensure_canonical
+from repro.runtime import checkpoint
 from repro.trim.base import TrimResult, fresh_variable
 
 UnaryPredicate = Callable[[Any], bool]
@@ -52,6 +53,7 @@ def filter_variables(
         if not relevant:
             new_db.add(relation)
             continue
+        checkpoint("trim.filter", rows=len(relation))
         positions = [
             index
             for index in range(len(relation))
@@ -88,6 +90,7 @@ def union_partitions(
     new_db = Database()
     for atom in query.atoms:
         relation = db[atom.relation]
+        checkpoint("trim.union", rows=len(relation))
         arity = relation.arity
         columns: list[list[Any]] = [[] for _ in range(arity + 1)]
         total = 0

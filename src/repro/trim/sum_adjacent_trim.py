@@ -42,6 +42,7 @@ from repro.query.predicates import RankPredicate, WeightInterval
 from repro.query.rewrite import ensure_canonical
 from repro.ranking.sum import SumRanking
 from repro.ranking.tuple_weights import owned_variables, row_weight, variable_to_atom_assignment
+from repro.runtime import checkpoint
 from repro.trim.base import TrimResult, Trimmer, fresh_variable
 from repro.trim.segment_tree import ancestor_segments, range_segments
 
@@ -130,6 +131,7 @@ class SumAdjacentTrimmer(Trimmer):
         weights = relation.indexes.weight_values(
             tag, lambda row: row_weight(self.ranking, atom.variables, row, owned)
         )
+        checkpoint("trim.sum_filter", rows=len(weights))
         positions = [
             index for index, weight in enumerate(weights) if interval.contains(weight)
         ]
@@ -185,6 +187,7 @@ class SumAdjacentTrimmer(Trimmer):
             # memoized weight_values, so the weights are computed only once.
             weights_at = catalog.weight_values(("sum_weights",) + group_tag, group_weight)
             order = catalog.weight_order(("sum_weights",) + group_tag, group_weight)
+            checkpoint("trim.sum_group", rows=len(group_relation))
             key_at: dict[int, tuple] = {}
             for key, indices in groups.items():
                 for position in indices:
@@ -223,6 +226,7 @@ class SumAdjacentTrimmer(Trimmer):
         low = -math.inf if interval.low is None else interval.low
         high = math.inf if interval.high is None else interval.high
         copy_positions = [copy_relation.position(v) for v in join_vars]
+        checkpoint("trim.sum_copy", rows=len(copy_relation))
         new_copy_rows: list[tuple] = []
         for row_index, row in enumerate(copy_relation.rows):
             key = tuple(row[p] for p in copy_positions)

@@ -59,6 +59,23 @@ class TestExactScalingExperiments:
         assert row["pivot_cache_entries"] > 0
         assert result.notes
 
+    def test_e14_shape(self):
+        result = experiments.run_e14(n=120, epsilon=0.3, seed=11)
+        assert [row["mode"] for row in result.rows] == [
+            "exact", "budget/degrade", "budget/sampling",
+        ]
+        assert not result.rows[0]["degraded"]
+        for row in result.rows:
+            # exact rows have error 0; degraded rows ride the paper's
+            # approximation guarantees, so epsilon bounds them either way.
+            assert row["rank_error"] <= 0.3
+        assert result.meta["budget"]["timeout"] > 0
+        assert "degradation" in result.meta
+        # No degradation assertion at smoke scale: with a tiny n the exact
+        # run can fit the deadline floor; bench_e14_degradation.py enforces
+        # the degraded-within-2x acceptance bar at full scale.
+        assert result.notes
+
     def test_e13_shape(self):
         result = experiments.run_e13(sizes=(100,), num_phis=5, seed=9)
         assert [row["workload"] for row in result.rows] == ["path", "star"]

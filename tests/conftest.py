@@ -4,8 +4,39 @@ from __future__ import annotations
 
 import math
 import random
+import signal
 
 import pytest
+
+#: Hard wall-clock ceiling for any one fault-injection test.  A regression
+#: that makes a checkpoint uninterruptible (or a fault leave a cache in a
+#: rebuild loop) must fail the test, not hang the suite; the container has no
+#: pytest-timeout, so SIGALRM is the enforcement mechanism.
+FAULT_TEST_TIMEOUT_SECONDS = 30
+
+
+@pytest.fixture(autouse=True)
+def _fault_test_deadline(request):
+    """Arm a hard per-test timeout for every ``faults``-marked test."""
+    if request.node.get_closest_marker("faults") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise RuntimeError(
+            f"fault-injection test exceeded the hard "
+            f"{FAULT_TEST_TIMEOUT_SECONDS}s timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(FAULT_TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 from repro.data.database import Database
 from repro.data.relation import Relation

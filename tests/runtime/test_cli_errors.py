@@ -1,0 +1,174 @@
+"""CLI error sweep: every failure mode maps to a typed ``ReproError``
+subclass and a stable, documented exit code (2 = library error, 3 = budget
+exceeded, 4 = cancelled), and the budget knobs round-trip through the CLI."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.data.database import Database
+from repro.data.io import load_database_csv, save_database_csv
+from repro.data.relation import Relation
+from repro.exceptions import (
+    BudgetExceededError,
+    DegradedResultWarning,
+    ExecutionCancelledError,
+    RankingError,
+    ReproError,
+    SchemaError,
+)
+from repro.testing import FaultPlan, inject_faults
+
+
+@pytest.fixture
+def csv_database(tmp_path):
+    rng = random.Random(1)
+    db = Database(
+        [
+            Relation(
+                "R", ("x1", "x2"),
+                [(rng.randrange(40), rng.randrange(5)) for _ in range(40)],
+            ),
+            Relation(
+                "S", ("x2", "x3"),
+                [(rng.randrange(5), rng.randrange(40)) for _ in range(40)],
+            ),
+        ]
+    )
+    directory = tmp_path / "db"
+    save_database_csv(db, directory)
+    return directory
+
+
+def base_args(csv_database):
+    return [
+        "--data", str(csv_database),
+        "--query", "R(x1, x2), S(x2, x3)",
+        "--ranking", "sum(x1, x3)",
+    ]
+
+
+class TestExitCodeTwoIsReproError:
+    """Everything the CLI maps to exit code 2 derives from ReproError."""
+
+    def test_schema_error_names_relation_and_row(self, tmp_path, capsys):
+        directory = tmp_path / "db"
+        directory.mkdir()
+        (directory / "R.csv").write_text("x1,x2\n1,2\n3\n")
+        code = main([
+            "--data", str(directory),
+            "--query", "R(x1, x2)",
+            "--ranking", "sum(x1)",
+            "--phi", "0.5",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "'R'" in err and "row 3" in err
+
+        with pytest.raises(SchemaError) as excinfo:
+            load_database_csv(directory)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_missing_data_directory(self, tmp_path, capsys):
+        code = main([
+            "--data", str(tmp_path / "nope"),
+            "--query", "R(x1, x2)",
+            "--ranking", "sum(x1)",
+            "--phi", "0.5",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_relation(self, csv_database, capsys):
+        code = main([
+            "--data", str(csv_database),
+            "--query", "R(x1, x2), Missing(x2, x3)",
+            "--ranking", "sum(x1)",
+            "--phi", "0.5",
+        ])
+        assert code == 2
+
+    def test_unknown_weight_variable(self, csv_database, capsys):
+        code = main(base_args(csv_database)[:-2] + [
+            "--ranking", "sum(ghost)", "--phi", "0.5",
+        ])
+        assert code == 2
+        assert issubclass(RankingError, ReproError)
+
+    def test_index_out_of_range(self, csv_database, capsys):
+        code = main(base_args(csv_database) + ["--index", "999999999"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBudgetExitCodes:
+    def test_row_budget_exit_code_three(self, csv_database, capsys):
+        code = main(base_args(csv_database) + [
+            "--phi", "0.5", "--max-rows", "1",
+        ])
+        assert code == 3
+        assert "row budget" in capsys.readouterr().err
+        assert issubclass(BudgetExceededError, ReproError)
+
+    def test_timeout_exit_code_three(self, csv_database, capsys):
+        code = main(base_args(csv_database) + [
+            "--phi", "0.5", "--timeout", "0.000001",
+        ])
+        assert code == 3
+        assert "deadline" in capsys.readouterr().err
+
+    def test_cancellation_exit_code_four(self, csv_database, capsys):
+        # The CLI owns no cancellation token, so simulate a supervisor
+        # cancelling mid-execution through the fault harness.
+        plan = FaultPlan().arm(
+            "engine.execute",
+            error=ExecutionCancelledError("operator abort", checkpoint="engine.execute"),
+        )
+        with inject_faults(plan):
+            code = main(base_args(csv_database) + ["--phi", "0.5"])
+        assert code == 4
+        assert "operator abort" in capsys.readouterr().err
+        assert issubclass(ExecutionCancelledError, ReproError)
+
+    def test_budget_with_error_policy_reports_checkpoint(self, csv_database, capsys):
+        code = main(base_args(csv_database) + [
+            "--phi", "0.5", "--max-rows", "1", "--on-budget", "error",
+        ])
+        assert code == 3
+        assert "checkpoint" in capsys.readouterr().err
+
+
+class TestBudgetKnobsRoundTrip:
+    def test_degraded_run_succeeds_and_is_flagged(self, csv_database, capsys):
+        # ~989 rows exact vs ~300 sampling on this workload: 500 trips the
+        # exact plan deterministically while the sampling fallback fits.
+        with pytest.warns(DegradedResultWarning):
+            code = main(base_args(csv_database) + [
+                "--phi", "0.5", "--epsilon", "0.3", "--seed", "7",
+                "--max-rows", "500", "--on-budget", "sampling", "--json",
+            ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["degraded"] is True
+        assert payload["strategy"] == "sampling"
+        assert "rows budget tripped" in payload["degradation"]
+
+    def test_untripped_budget_run_not_degraded(self, csv_database, capsys):
+        code = main(base_args(csv_database) + [
+            "--phi", "0.5", "--max-rows", "1000000",
+            "--timeout", "3600", "--on-budget", "degrade", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["degraded"] is False
+        assert payload["degradation"] is None
+
+    def test_invalid_on_budget_rejected_by_argparse(self, csv_database):
+        with pytest.raises(SystemExit):
+            main(base_args(csv_database) + [
+                "--phi", "0.5", "--on-budget", "panic",
+            ])
