@@ -1,0 +1,103 @@
+"""E15 — always-on service: coalescing throughput and overload robustness.
+
+Benchmarks the service layer of PR 7 end to end over real HTTP.  The
+throughput phase compares ``clients`` concurrent callers sharing one
+:class:`~repro.service.QuantileService` (request coalescing over a single
+prepared query) against the same request list answered serially with a cold
+engine per request — the paper's preprocessing amortized across callers
+instead of paid per call.  The acceptance bar is a **>= 2x** throughput
+ratio.  The overload phase hammers a one-slot, zero-queue server with tight
+per-request budgets and asserts the robustness contract: every request gets
+a structured answer (200 degraded, 429 shed with a retry hint, or 504
+budget exhausted), the request records stay well-formed, and the server
+drains cleanly with zero orphaned tasks.
+
+The measured table is also written as machine-readable ``BENCH_e15.json``
+(shared helper in :mod:`repro.bench.reporting`), which CI uploads as a
+workflow artifact.
+"""
+
+import threading
+
+from repro.bench.experiments import run_e15
+from repro.bench.reporting import write_json_report
+from repro.service import (
+    QuantileService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.workloads.path import path_workload
+
+QUERY = "R1(x1,x2), R2(x2,x3), R3(x3,x4)"
+RANKING = "sum(x1, x2)"
+
+
+def sweep(client, clients, requests_per_client, phis):
+    """Issue the φ list from ``clients`` concurrent threads; return responses."""
+    responses = [None] * (clients * requests_per_client)
+
+    def issue(worker):
+        for slot in range(requests_per_client):
+            position = worker * requests_per_client + slot
+            responses[position] = client.query(
+                "bench", QUERY, RANKING, phis=[phis[position]]
+            )
+
+    threads = [threading.Thread(target=issue, args=(w,)) for w in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return responses
+
+
+def test_concurrent_sweep_coalesces(benchmark):
+    """8 concurrent clients against one service: all answered, batches merged."""
+    workload = path_workload(3, 300, join_domain=15, seed=29)
+    service = QuantileService(
+        ServiceConfig(max_inflight=2, max_queue=128, queue_timeout=60.0)
+    )
+    service.pool.register("bench", workload.db)
+    handle = ServiceThread(service).start()
+    try:
+        client = ServiceClient.from_url(handle.url)
+        phis = [(i + 1) / 17 for i in range(16)]
+        responses = benchmark.pedantic(
+            lambda: sweep(client, 8, 2, phis), rounds=1, iterations=1
+        )
+        assert all(r.status == 200 for r in responses)
+        stats = client.stats()
+        assert stats["coalescing"]["batches"] < stats["coalescing"]["requests"]
+        benchmark.extra_info["max_fan_in"] = stats["coalescing"]["max_fan_in"]
+    finally:
+        assert handle.shutdown() == 0
+    assert service.orphaned_tasks == 0
+
+
+def test_e15_table_and_json_report():
+    """The E15 table must meet both acceptance bars; the table is emitted as
+    BENCH_e15.json in the current working directory (CI runs from the repo
+    root and uploads it as an artifact)."""
+    result = run_e15()
+    target = write_json_report(result)
+
+    assert target.name == "BENCH_e15.json"
+    by_phase = {row["phase"]: row for row in result.rows}
+
+    throughput = by_phase["throughput"]
+    assert throughput["ok"] == throughput["requests"]
+    assert throughput["speedup"] >= 2.0, (
+        f"coalesced service achieved only {throughput['speedup']}x over "
+        "serialized one-shot calls; acceptance requires >= 2x"
+    )
+    assert throughput["max_fan_in"] >= 2
+    assert throughput["clean_drain"]
+
+    overload = by_phase["overload"]
+    assert set(result.meta["overload_statuses"]) <= {200, 429, 504}
+    assert overload["ok"] + overload["shed"] + overload["budget_error"] == (
+        overload["requests"]
+    )
+    assert overload["degraded"] >= 1
+    assert overload["clean_drain"], "overload phase must still drain cleanly"

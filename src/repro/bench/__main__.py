@@ -28,6 +28,7 @@ QUICK_OVERRIDES: dict[str, dict] = {
     "E11": {"multiset_size": 5000},
     "E12": {"sizes": (400,), "num_phis": 9},
     "E13": {"sizes": (600,), "num_phis": 19},
+    "E15": {"n": 200, "clients": 8, "requests_per_client": 2},
     "A1": {"n": 100},
     "A2": {"n": 400},
     "A3": {"phis": (0.1, 0.5, 0.9), "n": 300},

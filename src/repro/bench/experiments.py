@@ -813,3 +813,225 @@ def run_e14(
         )
     )
     return result
+
+
+# ---------------------------------------------------------------------- #
+# E15: always-on service — coalescing throughput and overload robustness
+# ---------------------------------------------------------------------- #
+def run_e15(
+    n: int = 400,
+    clients: int = 8,
+    requests_per_client: int = 4,
+    max_inflight: int = 2,
+    seed: int = 31,
+) -> ExperimentResult:
+    """E15 — the always-on quantile service vs serialized one-shot calls.
+
+    Two phases, one acceptance bar each:
+
+    1. **Throughput.**  ``clients`` concurrent HTTP clients each issue
+       ``requests_per_client`` φ requests against one registered database.
+       All requests share a coalescing key, so the service merges them into
+       shared batches over one prepared query.  The baseline answers the
+       same request list serially with a cold engine per request — what the
+       callers would do without a shared service.  Acceptance: the service
+       sustains **>= 2x** the serialized throughput.
+    2. **Overload.**  The same fleet hammers a one-slot, zero-queue server
+       with tight per-request budgets.  Acceptance: every request gets a
+       structured JSON answer (200 degraded, 429 shed with a retry hint, or
+       504 budget exhausted — never a crash or a hung socket), the request
+       records stay well-formed, and the server then drains cleanly with
+       zero orphaned tasks.
+    """
+    import threading
+
+    from repro.engine import Engine
+    from repro.service import (
+        QuantileService,
+        ServiceClient,
+        ServiceConfig,
+        ServiceThread,
+    )
+    from repro.service.records import REQUEST_STATUSES
+
+    query_spec = "R1(x1,x2), R2(x2,x3), R3(x3,x4)"
+    ranking_spec = "sum(x1, x2)"
+    workload = path_workload(3, n, join_domain=max(2, n // 20), seed=seed + n)
+    total_requests = clients * requests_per_client
+    phis = [(i + 1) / (total_requests + 1) for i in range(total_requests)]
+
+    result = ExperimentResult(
+        experiment="E15",
+        title="Always-on service: coalescing throughput and overload robustness",
+        claim="the service amortizes the paper's preprocessing across "
+        "concurrent callers (coalesced batches over one prepared query) and "
+        "degrades per-request under overload instead of collapsing",
+        columns=[
+            "phase",
+            "clients",
+            "requests",
+            "serialized_seconds",
+            "service_seconds",
+            "speedup",
+            "max_fan_in",
+            "ok",
+            "degraded",
+            "shed",
+            "budget_error",
+            "clean_drain",
+        ],
+        meta={
+            "n": n,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "max_inflight": max_inflight,
+        },
+    )
+
+    # ---------------- Phase 1: throughput vs serialized one-shot -------- #
+    def run_serialized():
+        weights = []
+        for phi in phis:
+            prepared = Engine(workload.db).prepare(query_spec, ranking_spec)
+            weights.append(prepared.quantile(phi).weight)
+        return weights
+
+    serial_weights, serialized_seconds = time_call(run_serialized)
+
+    service = QuantileService(
+        ServiceConfig(max_inflight=max_inflight, max_queue=128, queue_timeout=60.0)
+    )
+    service.pool.register("bench", workload.db)
+    handle = ServiceThread(service).start()
+    client = ServiceClient.from_url(handle.url)
+    responses: list = [None] * total_requests
+
+    def run_clients():
+        def issue(worker):
+            for slot in range(requests_per_client):
+                position = worker * requests_per_client + slot
+                responses[position] = client.query(
+                    "bench", query_spec, ranking_spec, phis=[phis[position]]
+                )
+
+        threads = [
+            threading.Thread(target=issue, args=(worker,)) for worker in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    _, service_seconds = time_call(run_clients)
+    stats = client.stats()
+    drain_code = handle.shutdown()
+
+    if any(response is None or response.status != 200 for response in responses):
+        raise AssertionError("throughput phase: every request must answer 200")
+    service_weights = [
+        response.payload["results"][0]["weight"] for response in responses
+    ]
+    if service_weights != serial_weights:
+        raise AssertionError("service answers disagree with serialized engine runs")
+    speedup = serialized_seconds / service_seconds if service_seconds > 0 else float("inf")
+    result.rows.append(
+        {
+            "phase": "throughput",
+            "clients": clients,
+            "requests": total_requests,
+            "serialized_seconds": round(serialized_seconds, 4),
+            "service_seconds": round(service_seconds, 4),
+            "speedup": round(speedup, 2),
+            "max_fan_in": stats["coalescing"]["max_fan_in"],
+            "ok": sum(1 for r in responses if r.status == 200),
+            "degraded": None,
+            "shed": None,
+            "budget_error": None,
+            "clean_drain": drain_code == 0,
+        }
+    )
+    result.meta["coalescing"] = {
+        "batches": stats["coalescing"]["batches"],
+        "requests": stats["coalescing"]["requests"],
+        "merged_requests": stats["coalescing"]["merged_requests"],
+        "max_fan_in": stats["coalescing"]["max_fan_in"],
+    }
+
+    # ---------------- Phase 2: overload, tight budgets, clean drain ----- #
+    # Heavy fan-out + MAX over the path endpoints: exact-pivot trips the
+    # tight row budget while sampling fits, so "degrade" requests answer
+    # degraded and "error" requests 504 — per request, never server-wide.
+    overload_workload = path_workload(3, 50, 6, seed=5)
+    overload_ranking = "max(x1, x4)"
+    service = QuantileService(
+        ServiceConfig(max_inflight=1, max_queue=1, queue_timeout=0.2)
+    )
+    service.pool.register("bench", overload_workload.db)
+    handle = ServiceThread(service).start()
+    client = ServiceClient.from_url(handle.url)
+    overload_responses: list = [None] * clients
+
+    def overload(worker):
+        if worker % 2:
+            overload_responses[worker] = client.query(
+                "bench", query_spec, overload_ranking, phis=[0.5],
+                epsilon=0.3, max_rows=1500, on_budget="degrade", seed=worker,
+            )
+        else:
+            overload_responses[worker] = client.query(
+                "bench", query_spec, overload_ranking, phis=[0.5],
+                max_rows=40, on_budget="error", seed=worker,
+            )
+
+    threads = [threading.Thread(target=overload, args=(w,)) for w in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    healthy = client.health().status == 200
+    overload_stats = client.stats()
+    drain_code = handle.shutdown()
+
+    statuses = [response.status for response in overload_responses]
+    if any(status not in (200, 429, 504) for status in statuses):
+        raise AssertionError(f"overload phase: unexpected statuses {statuses}")
+    if not healthy:
+        raise AssertionError("server stopped answering health checks under overload")
+    for record in overload_stats["recent"]:
+        if record["status"] not in REQUEST_STATUSES:
+            raise AssertionError(f"malformed request record: {record}")
+    degraded_count = sum(
+        1
+        for response in overload_responses
+        if response.status == 200 and response.payload.get("degraded")
+    )
+    result.rows.append(
+        {
+            "phase": "overload",
+            "clients": clients,
+            "requests": clients,
+            "serialized_seconds": None,
+            "service_seconds": None,
+            "speedup": None,
+            "max_fan_in": overload_stats["coalescing"]["max_fan_in"],
+            "ok": sum(1 for status in statuses if status == 200),
+            "degraded": degraded_count,
+            "shed": sum(1 for status in statuses if status == 429),
+            "budget_error": sum(1 for status in statuses if status == 504),
+            "clean_drain": drain_code == 0 and service.orphaned_tasks == 0,
+        }
+    )
+    result.meta["overload_statuses"] = sorted(statuses)
+    result.notes.append(
+        f"coalesced service answered {total_requests} requests from {clients} "
+        f"clients in {service_seconds:.3f}s vs {serialized_seconds:.3f}s "
+        f"serialized one-shot ({speedup:.1f}x; acceptance target: >= 2x); "
+        f"max coalesce fan-in {stats['coalescing']['max_fan_in']}"
+    )
+    result.notes.append(
+        "overload phase: statuses "
+        + ", ".join(f"{status}" for status in sorted(set(statuses)))
+        + f"; {degraded_count} degraded per-request; clean drain="
+        + str(result.rows[-1]["clean_drain"])
+    )
+    return result

@@ -16,7 +16,14 @@ the join stack keeps rebuilding:
 
 Indexes are invalidated wholesale when the relation mutates
 (:meth:`Relation.add` drops the catalog), so a stale index can never be
-served.  For relations that are row-subset views of a parent relation (the
+served.
+
+The catalog is safe under concurrent readers (the always-on service shares
+relations across requests): every index is built entirely off to the side —
+no lock held, so checkpoints and injected faults interrupt a build without
+leaving partial state — and published under a per-catalog lock with a
+re-check, so concurrent builders of the same index converge on one
+published structure and no reader can ever observe a half-built index.  For relations that are row-subset views of a parent relation (the
 result of ``filter``/``semijoin`` masking), weight orders are *derived* from
 the parent's order by filtering — an O(n) pass with no comparisons — instead
 of re-sorting, which is what lets repeated trims of the same base relation
@@ -25,6 +32,7 @@ across pivot iterations and φ values skip the O(n log n) sort entirely.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Hashable, Sequence
 from typing import TYPE_CHECKING, Any
 
@@ -45,16 +53,41 @@ class IndexCatalog:
     relation (the relation drops the whole catalog on :meth:`Relation.add`).
     """
 
-    __slots__ = ("relation", "_hash_indexes", "_key_sets", "_orders", "hits", "misses")
+    __slots__ = (
+        "relation",
+        "_hash_indexes",
+        "_key_sets",
+        "_orders",
+        "_lock",
+        "hits",
+        "misses",
+    )
 
     def __init__(self, relation: "Relation") -> None:
         self.relation = relation
         self._hash_indexes: dict[tuple[str, ...], dict[Key, list[int]]] = {}
         self._key_sets: dict[tuple[str, ...], set[Key]] = {}
         self._orders: dict[Hashable, list[int]] = {}
+        # Publish lock: taken only to install a fully built structure (with a
+        # re-check), never while building, so builds stay interruptible and
+        # concurrent readers of other indexes are never blocked.
+        self._lock = threading.Lock()
         #: Cache statistics (reads by benchmarks and tests).
         self.hits = 0
         self.misses = 0
+
+    def _publish(self, table: dict, signature: Hashable, value: Any) -> Any:
+        """Install ``value`` under ``signature`` unless a concurrent builder won.
+
+        Returns the structure every caller should use — the first one
+        published — so concurrent builders of the same index converge.
+        """
+        with self._lock:
+            existing = table.get(signature)
+            if existing is not None:
+                return existing
+            table[signature] = value
+            return value
 
     # ------------------------------------------------------------------ #
     # Hash indexes
@@ -87,8 +120,7 @@ class IndexCatalog:
             columns = [relation.column(a) for a in signature]
             for position, key in enumerate(zip(*columns)):
                 index.setdefault(key, []).append(position)
-        self._hash_indexes[signature] = index
-        return index
+        return self._publish(self._hash_indexes, signature, index)
 
     def key_set(self, attributes: Sequence[str]) -> set[Key]:
         """The distinct key tuples of ``attributes`` (memoized)."""
@@ -111,8 +143,7 @@ class IndexCatalog:
             else:
                 columns = [self.relation.column(a) for a in signature]
                 keys = set(zip(*columns))
-        self._key_sets[signature] = keys
-        return keys
+        return self._publish(self._key_sets, signature, keys)
 
     def contains_row(self, row: Row) -> bool:
         """Membership test backed by the full-schema key set."""
@@ -150,8 +181,7 @@ class IndexCatalog:
             values = [parent_values[p] for p in positions]
         else:
             values = [key(row) for row in relation.rows]
-        self._orders[signature] = values
-        return values
+        return self._publish(self._orders, signature, values)
 
     def weight_order(self, tag: Hashable, key: Callable[[Row], Any]) -> list[int]:
         """Row positions sorted by ``key(row)``, memoized under ``tag``.
@@ -181,8 +211,7 @@ class IndexCatalog:
         else:
             values = self.weight_values(tag, key)
             order = sorted(range(len(values)), key=values.__getitem__)
-        self._orders[signature] = order
-        return order
+        return self._publish(self._orders, signature, order)
 
     # ------------------------------------------------------------------ #
     # Generic derived structures
@@ -202,8 +231,7 @@ class IndexCatalog:
         self.misses += 1
         checkpoint("index.memo")
         value = compute()
-        self._orders[signature] = value
-        return value
+        return self._publish(self._orders, signature, value)
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,6 +14,7 @@ instead of rebuilding their structures per call.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any
 
@@ -23,6 +24,11 @@ from repro.exceptions import SchemaError
 
 Value = Any
 Row = tuple[Value, ...]
+
+#: Guards lazy catalog creation across all relations.  Held only for the
+#: instant of constructing an empty :class:`IndexCatalog`; index builds
+#: themselves synchronize on the catalog's own publish lock.
+_CATALOG_CREATION_LOCK = threading.Lock()
 
 
 class Relation:
@@ -130,10 +136,19 @@ class Relation:
 
     @property
     def indexes(self) -> IndexCatalog:
-        """The memoized index catalog (created lazily, dropped on mutation)."""
-        if self._catalog is None:
-            self._catalog = IndexCatalog(self)
-        return self._catalog
+        """The memoized index catalog (created lazily, dropped on mutation).
+
+        Creation is guarded by a module-wide lock so concurrent first readers
+        share one catalog — two catalogs for the same relation would each
+        rebuild every index, silently halving the service's cache hit rate.
+        """
+        catalog = self._catalog
+        if catalog is None:
+            with _CATALOG_CREATION_LOCK:
+                catalog = self._catalog
+                if catalog is None:
+                    catalog = self._catalog = IndexCatalog(self)
+        return catalog
 
     @property
     def version(self) -> int:

@@ -30,6 +30,7 @@ Quick start
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, replace
@@ -245,6 +246,12 @@ class PreparedQuery:
         # counting, reduction, pivot selection, and terminal enumeration
         # across all executions of this prepared query.
         self._tree_cache = TreeCache()
+        # Serializes the lazy ensure steps under concurrent executions (the
+        # service shares one prepared query across callers): the first caller
+        # builds, the rest wait and reuse, and no heavy preprocessing is ever
+        # duplicated.  Reentrant because the ensures nest (reduced -> canonical
+        # -> join tree).
+        self._state_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -289,51 +296,58 @@ class PreparedQuery:
     def classification(self) -> SumClassification:
         """Dichotomy classification of the (query, ranking) pair (cached)."""
         if self._classification is None:
-            if isinstance(self.ranking, SumRanking):
-                self._classification = classify_sum(
-                    self.query, frozenset(self.ranking.weighted_variables)
-                )
-            else:
-                self._classification = classify_always_tractable(self.query)
+            with self._state_lock:
+                if self._classification is None:
+                    if isinstance(self.ranking, SumRanking):
+                        self._classification = classify_sum(
+                            self.query, frozenset(self.ranking.weighted_variables)
+                        )
+                    else:
+                        self._classification = classify_always_tractable(self.query)
         return self._classification
 
     def plan(self) -> SolverPlan:
         """Decide (and cache) which algorithm to run."""
         if self._plan is not None:
             return self._plan
-        classification = self.classification()
-        if self.strategy != "auto":
-            self._plan = SolverPlan(
-                self.strategy, classification, f"strategy forced to {self.strategy!r}"
-            )
+        with self._state_lock:
+            if self._plan is not None:
+                return self._plan
+            classification = self.classification()
+            if self.strategy != "auto":
+                self._plan = SolverPlan(
+                    self.strategy, classification, f"strategy forced to {self.strategy!r}"
+                )
+                return self._plan
+            if classification.is_tractable:
+                self._plan = SolverPlan(
+                    "exact-pivot",
+                    classification,
+                    f"tractable: {classification.reason}",
+                )
+            elif self.epsilon is not None and isinstance(self.ranking, SumRanking):
+                self._plan = SolverPlan(
+                    "approx-pivot",
+                    classification,
+                    "conditionally intractable for exact evaluation "
+                    f"({classification.reason}); using the deterministic "
+                    f"epsilon-approximation with epsilon={self.epsilon}",
+                )
+            else:
+                raise IntractableQueryError(
+                    "exact quantile evaluation is conditionally intractable: "
+                    f"{classification.reason}. Provide epsilon= for an approximate "
+                    "answer, or force strategy='materialize' / 'sampling'."
+                )
             return self._plan
-        if classification.is_tractable:
-            self._plan = SolverPlan(
-                "exact-pivot",
-                classification,
-                f"tractable: {classification.reason}",
-            )
-        elif self.epsilon is not None and isinstance(self.ranking, SumRanking):
-            self._plan = SolverPlan(
-                "approx-pivot",
-                classification,
-                "conditionally intractable for exact evaluation "
-                f"({classification.reason}); using the deterministic "
-                f"epsilon-approximation with epsilon={self.epsilon}",
-            )
-        else:
-            raise IntractableQueryError(
-                "exact quantile evaluation is conditionally intractable: "
-                f"{classification.reason}. Provide epsilon= for an approximate "
-                "answer, or force strategy='materialize' / 'sampling'."
-            )
-        return self._plan
 
     def join_tree(self) -> RootedJoinTree:
         """The rooted join tree of the canonical query (cached)."""
         if self._rooted_tree is None:
-            canonical_query, _ = self._ensure_canonical()
-            self._rooted_tree = build_join_tree(canonical_query).rooted()
+            with self._state_lock:
+                if self._rooted_tree is None:
+                    canonical_query, _ = self._ensure_canonical()
+                    self._rooted_tree = build_join_tree(canonical_query).rooted()
         return self._rooted_tree
 
     # ------------------------------------------------------------------ #
@@ -374,31 +388,49 @@ class PreparedQuery:
     # ------------------------------------------------------------------ #
     def _ensure_canonical(self) -> tuple[JoinQuery, Database]:
         if self._canonical is None:
-            self._canonical = ensure_canonical(self.query, self.db)
+            with self._state_lock:
+                if self._canonical is None:
+                    self._canonical = ensure_canonical(self.query, self.db)
         return self._canonical
 
     def _ensure_reduced(self) -> tuple[JoinQuery, Database]:
         """Canonical query over the fully semijoin-reduced database."""
         canonical_query, canonical_db = self._ensure_canonical()
         if self._reduced_db is None:
-            tree = self._tree_cache.get(
-                canonical_query, canonical_db, rooted=self.join_tree()
-            )
-            self._reduced_db = full_reduce(canonical_query, canonical_db, tree=tree)
+            with self._state_lock:
+                if self._reduced_db is None:
+                    tree = self._tree_cache.get(
+                        canonical_query, canonical_db, rooted=self.join_tree()
+                    )
+                    self._reduced_db = full_reduce(
+                        canonical_query, canonical_db, tree=tree
+                    )
         return canonical_query, self._reduced_db
 
     def _ensure_total(self) -> int:
         if self._total is None:
-            canonical_query, canonical_db = self._ensure_canonical()
-            db = self._reduced_db if self._reduced_db is not None else canonical_db
-            tree = self._tree_cache.get(canonical_query, db, rooted=self.join_tree())
-            self._total = count_from_tree(tree)
+            with self._state_lock:
+                if self._total is None:
+                    canonical_query, canonical_db = self._ensure_canonical()
+                    db = (
+                        self._reduced_db
+                        if self._reduced_db is not None
+                        else canonical_db
+                    )
+                    tree = self._tree_cache.get(
+                        canonical_query, db, rooted=self.join_tree()
+                    )
+                    self._total = count_from_tree(tree)
         return self._total
 
     def _ensure_materialized(self) -> list:
         """All answers sorted by weight (for the ``materialize`` strategy)."""
         if self._materialized is None:
-            self._materialized = sorted_answers(self.query, self.db, self.ranking)
+            with self._state_lock:
+                if self._materialized is None:
+                    self._materialized = sorted_answers(
+                        self.query, self.db, self.ranking
+                    )
         return self._materialized
 
     def _ensure_trimmer(self, strategy: str) -> Trimmer:
@@ -408,6 +440,13 @@ class PreparedQuery:
         and the exact trimmers must never be confused when degradation runs
         both over this prepared query's lifetime.
         """
+        trimmer = self._trimmers.get(strategy)
+        if trimmer is not None:
+            return trimmer
+        with self._state_lock:
+            return self._build_trimmer(strategy)
+
+    def _build_trimmer(self, strategy: str) -> Trimmer:
         trimmer = self._trimmers.get(strategy)
         if trimmer is not None:
             return trimmer
@@ -448,13 +487,16 @@ class PreparedQuery:
         """
         if self._pivot_cache_limit <= 0:
             return None, None
-        pivot = self._pivot_caches.get(strategy)
-        if pivot is None:
-            pivot = self._pivot_caches[strategy] = _CappedCache(self._pivot_cache_limit)
-            self._answer_caches[strategy] = _CappedCache(
-                min(self._pivot_cache_limit, DEFAULT_ANSWER_CACHE_LIMIT)
-            )
-        return pivot, self._answer_caches[strategy]
+        with self._state_lock:
+            pivot = self._pivot_caches.get(strategy)
+            if pivot is None:
+                pivot = self._pivot_caches[strategy] = _CappedCache(
+                    self._pivot_cache_limit
+                )
+                self._answer_caches[strategy] = _CappedCache(
+                    min(self._pivot_cache_limit, DEFAULT_ANSWER_CACHE_LIMIT)
+                )
+            return pivot, self._answer_caches[strategy]
 
     # ------------------------------------------------------------------ #
     # Strategy dispatch
@@ -615,6 +657,34 @@ class PreparedQuery:
         """Number of memoized pivoting iterations currently held (all strategies)."""
         return sum(len(cache) for cache in self._pivot_caches.values())
 
+    def estimated_bytes(self) -> int:
+        """Coarse, deterministic estimate of this prepared query's cache bytes.
+
+        Counts the structures a prepared query holds beyond the base
+        database: the semijoin-reduced database, the materialized answer list,
+        the tree cache's materialized rows, and the interval-keyed
+        pivot/answer caches.  Rows are charged a flat per-row constant — this
+        is an *accounting proxy* (like the row budget), not a measurement, so
+        the service's byte-budget eviction behaves identically on every
+        platform.
+        """
+        row_bytes = 64
+        total = 4096  # fixed overhead: plan, trimmers, tree metadata
+        if self._reduced_db is not None:
+            total += self._reduced_db.size * row_bytes
+        if self._materialized is not None:
+            arity = len(self.query.variables) + 1
+            total += len(self._materialized) * arity * 16
+        # Each cached tree re-materializes roughly the candidate database.
+        total += len(self._tree_cache) * self.db.size * row_bytes
+        # Each memoized pivot iteration keeps two trimmed sub-database views
+        # (masks over shared columns), each answer-cache entry a sorted list
+        # of up to termination_factor * |D| answers.
+        total += self.pivot_cache_size * 1024
+        answer_entries = sum(len(cache) for cache in self._answer_caches.values())
+        total += answer_entries * self.termination_factor * row_bytes
+        return total
+
     @property
     def tree_cache(self) -> TreeCache:
         """The shared materialized-tree cache (one tree per query/db pair)."""
@@ -682,6 +752,10 @@ class Engine:
         self.max_rows = max_rows
         self.on_budget = on_budget
         self._prepared: dict[tuple, PreparedQuery] = {}
+        # Guards the prepared-query memo so concurrent prepare() calls for
+        # the same signature share one PreparedQuery (and its caches) instead
+        # of racing to create two.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def prepare(
@@ -746,26 +820,28 @@ class Engine:
             on_budget,
             cancellation,
         )
-        if key is not None and key in self._prepared:
-            prepared = self._prepared[key]
-        else:
-            prepared = PreparedQuery(
-                query,
-                self.db,
-                ranking,
-                epsilon=epsilon,
-                strategy=strategy,
-                seed=seed,
-                pivot_cache_limit=self.pivot_cache_limit,
-                timeout=timeout,
-                max_rows=max_rows,
-                on_budget=on_budget,
-                cancellation=cancellation,
-                **kwargs,
-            )
-            if key is not None:
-                self._prepared[key] = prepared
+        with self._lock:
+            prepared = self._prepared.get(key) if key is not None else None
+            if prepared is None:
+                prepared = PreparedQuery(
+                    query,
+                    self.db,
+                    ranking,
+                    epsilon=epsilon,
+                    strategy=strategy,
+                    seed=seed,
+                    pivot_cache_limit=self.pivot_cache_limit,
+                    timeout=timeout,
+                    max_rows=max_rows,
+                    on_budget=on_budget,
+                    cancellation=cancellation,
+                    **kwargs,
+                )
+                if key is not None:
+                    self._prepared[key] = prepared
         if eager:
+            # Outside the memo lock: preprocessing can be heavy, and the
+            # prepared query's own state lock already serializes it.
             prepared.prepare()
         return prepared
 
@@ -849,9 +925,25 @@ class Engine:
         """Number of memoized prepared queries."""
         return len(self._prepared)
 
+    def evict(self, prepared: PreparedQuery) -> bool:
+        """Drop one memoized prepared query (by identity).
+
+        Used by the service's engine pool to enforce its byte budget: once
+        evicted here (and from the pool's LRU), the prepared query's caches
+        become garbage as soon as no caller holds it.  Returns whether the
+        query was memoized.
+        """
+        with self._lock:
+            for key, candidate in list(self._prepared.items()):
+                if candidate is prepared:
+                    del self._prepared[key]
+                    return True
+        return False
+
     def clear(self) -> None:
         """Drop all memoized prepared queries."""
-        self._prepared.clear()
+        with self._lock:
+            self._prepared.clear()
 
     def __repr__(self) -> str:
         return f"Engine(db={self.db.size} tuples, prepared={self.prepared_count})"

@@ -20,6 +20,13 @@ fingerprint is built from while the entry is alive (a relation removed from
 the database by ``replace`` would otherwise be freed, letting a new relation
 reuse its id at version 0 and alias the stale fingerprint).
 
+The cache is safe under concurrent readers (the always-on service shares
+one cache per prepared query across requests): trees are built entirely off
+to the side — no lock held, so checkpoints and injected faults fire without
+poisoning the cache — and published under a lock with a re-check, so a
+caller can never observe a half-built tree and concurrent builders of the
+same key converge on a single published entry.
+
 :class:`~repro.engine.PreparedQuery` owns one cache per prepared query and
 threads it through the whole solve path; the module-level convenience
 functions (``count_answers`` and friends) build throwaway trees when no
@@ -28,6 +35,7 @@ cache is passed, which keeps the one-shot API dependency-free.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.data.database import Database
@@ -66,7 +74,7 @@ class TreeCache:
         small cache already achieves full reuse.
     """
 
-    __slots__ = ("limit", "_entries", "hits", "misses")
+    __slots__ = ("limit", "_entries", "_lock", "hits", "misses")
 
     def __init__(self, limit: int = DEFAULT_TREE_CACHE_LIMIT) -> None:
         if limit < 1:
@@ -79,11 +87,29 @@ class TreeCache:
             tuple[int, int],
             tuple[JoinQuery, Database, tuple, Fingerprint, MaterializedTree],
         ] = OrderedDict()
+        # Guards lookups, publishes, and eviction.  Never held while a tree
+        # is being built, so concurrent readers of other keys (and injected
+        # faults mid-build) proceed without contention.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _lookup(self, key: tuple[int, int], db: Database) -> MaterializedTree | None:
+        """Return the cached fresh tree for ``key``, dropping a stale entry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            _, _, _, fingerprint, tree = entry
+            if fingerprint == database_fingerprint(db):
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return tree
+            del self._entries[key]
+            return None
 
     def get(
         self,
@@ -99,29 +125,40 @@ class TreeCache:
         discarded and rebuilt.
         """
         key = (id(query), id(db))
-        entry = self._entries.get(key)
-        if entry is not None:
-            _, _, _, fingerprint, tree = entry
-            if fingerprint == database_fingerprint(db):
-                self.hits += 1
-                self._entries.move_to_end(key)
-                return tree
-            del self._entries[key]
+        tree = self._lookup(key, db)
+        if tree is not None:
+            return tree
         self.misses += 1
-        # Build fully before publishing: if the construction is interrupted
-        # (budget trip, cancellation, injected fault) no entry is installed
-        # and the next call rebuilds from scratch.
+        # Build fully off to the side before publishing: if the construction
+        # is interrupted (budget trip, cancellation, injected fault) no entry
+        # is installed and the next call rebuilds from scratch; a concurrent
+        # reader can never observe the tree mid-build.
+        fingerprint = database_fingerprint(db)
         checkpoint("tree_cache.build")
         tree = MaterializedTree(query, db, rooted=rooted)
         relations = tuple(db)
-        self._entries[key] = (query, db, relations, database_fingerprint(db), tree)
-        while len(self._entries) > self.limit:
-            self._entries.popitem(last=False)
+        with self._lock:
+            current = database_fingerprint(db)
+            # A concurrent builder may have published while we were building;
+            # keep the first published fresh entry so every caller shares one
+            # tree (and its memoized subtree counts).
+            entry = self._entries.get(key)
+            if entry is not None and entry[3] == current:
+                self._entries.move_to_end(key)
+                return entry[4]
+            if fingerprint == current:
+                self._entries[key] = (query, db, relations, fingerprint, tree)
+                while len(self._entries) > self.limit:
+                    self._entries.popitem(last=False)
+            # else: the database mutated while we were building — serve the
+            # tree to this caller (it matches what it read) but never publish
+            # a fingerprint that no longer describes the relations.
         return tree
 
     def clear(self) -> None:
         """Drop every cached tree."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

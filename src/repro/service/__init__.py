@@ -1,0 +1,53 @@
+"""Always-on quantile service: engine pool, admission control, coalescing.
+
+ROADMAP item 2: run the prepared-query engine as a long-lived process that
+many callers share safely.  The package splits into small layers:
+
+* :mod:`repro.service.pool` — named engines + byte-budgeted prepared LRU;
+* :mod:`repro.service.admission` — bounded in-flight slots, queue-depth and
+  queue-time limits, retry-after hints;
+* :mod:`repro.service.coalesce` — concurrent same-key φ requests merge into
+  one batch with per-caller outcome propagation;
+* :mod:`repro.service.records` — structured per-request records;
+* :mod:`repro.service.server` — the asyncio HTTP front-end and lifecycle
+  (health/readiness, graceful drain, cooperative cancellation);
+* :mod:`repro.service.client` — a small stdlib client.
+
+Everything is stdlib only, like the rest of the repository.
+"""
+
+from repro.service.admission import AdmissionController, ShedRequestError
+from repro.service.client import ServiceClient, ServiceResponse
+from repro.service.coalesce import BatchOutcome, Coalescer
+from repro.service.pool import (
+    DEFAULT_PREPARED_BUDGET_BYTES,
+    EnginePool,
+    UnknownDatabaseError,
+)
+from repro.service.records import RecordLog, RequestRecord
+from repro.service.server import (
+    EXIT_DIRTY_DRAIN,
+    EXIT_OK,
+    QuantileService,
+    ServiceConfig,
+    ServiceThread,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ShedRequestError",
+    "ServiceClient",
+    "ServiceResponse",
+    "BatchOutcome",
+    "Coalescer",
+    "DEFAULT_PREPARED_BUDGET_BYTES",
+    "EnginePool",
+    "UnknownDatabaseError",
+    "RecordLog",
+    "RequestRecord",
+    "EXIT_DIRTY_DRAIN",
+    "EXIT_OK",
+    "QuantileService",
+    "ServiceConfig",
+    "ServiceThread",
+]

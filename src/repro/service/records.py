@@ -1,0 +1,127 @@
+"""Structured per-request records of the always-on quantile service.
+
+Every request that reaches the service — served, shed, degraded, errored, or
+cancelled — produces one :class:`RequestRecord`: a flat, JSON-serializable
+account of what happened (latency split into queue and execute time, the
+coalesce fan-in of the batch that served it, the degradation rungs taken,
+checkpoint counts).  The server appends them to a bounded :class:`RecordLog`
+and exposes recent records plus aggregate counters through ``GET /stats``,
+so operators can see shedding and degradation happening without scraping
+logs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import asdict, dataclass, field
+
+#: Terminal states a request record can report.
+REQUEST_STATUSES = ("ok", "degraded", "shed", "error", "cancelled")
+
+#: Default bound on retained records.
+DEFAULT_RECORD_LIMIT = 512
+
+
+@dataclass
+class RequestRecord:
+    """One request's structured outcome.
+
+    Attributes
+    ----------
+    request_id:
+        Monotonically increasing per-server id.
+    db, query, ranking, phis:
+        What was asked.
+    status:
+        One of :data:`REQUEST_STATUSES`.  ``"degraded"`` means the request
+        was answered but at least one result fell down the degradation
+        ladder; ``"shed"`` means admission control rejected it.
+    http_status:
+        The HTTP status code returned.
+    queue_seconds, execute_seconds, total_seconds:
+        Latency split: time spent waiting for an execution slot, time inside
+        the engine, and end-to-end.
+    coalesce_fan_in:
+        Number of callers whose requests were merged into the batch that
+        served this one (1 = no coalescing happened).
+    degraded:
+        Whether any returned result carries ``degraded=True``.
+    degradation_rungs:
+        The distinct degradation notes of the degraded results.
+    checkpoints:
+        Runtime checkpoints observed by the batch execution (shared across
+        the batch's coalesced callers).
+    error:
+        Error message for ``error``/``cancelled``/``shed`` outcomes.
+    retry_after:
+        Suggested seconds to wait before retrying (shed responses only).
+    """
+
+    request_id: int
+    db: str
+    query: str
+    ranking: str
+    phis: list = field(default_factory=list)
+    status: str = "ok"
+    http_status: int = 200
+    queue_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+    coalesce_fan_in: int = 1
+    degraded: bool = False
+    degradation_rungs: list = field(default_factory=list)
+    checkpoints: int = 0
+    error: str | None = None
+    retry_after: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (what ``GET /stats`` returns)."""
+        return asdict(self)
+
+
+class RecordLog:
+    """Thread-safe bounded log of request records with aggregate counters.
+
+    The server appends from the event loop; benchmarks and the stats
+    endpoint read snapshots.  Aggregates survive eviction from the bounded
+    ring, so long-running totals stay correct.
+    """
+
+    def __init__(self, limit: int = DEFAULT_RECORD_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError("RecordLog limit must be at least 1")
+        self._records: deque[RequestRecord] = deque(maxlen=limit)
+        self._lock = threading.Lock()
+        self._by_status: Counter[str] = Counter()
+        self._total = 0
+        self._coalesced = 0
+        self._max_fan_in = 0
+
+    def append(self, record: RequestRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            self._by_status[record.status] += 1
+            self._total += 1
+            if record.coalesce_fan_in > 1:
+                self._coalesced += 1
+            self._max_fan_in = max(self._max_fan_in, record.coalesce_fan_in)
+
+    def __len__(self) -> int:
+        return self._total
+
+    def recent(self, limit: int = 50) -> list[dict]:
+        """The newest ``limit`` records, oldest first."""
+        with self._lock:
+            tail = list(self._records)[-limit:]
+        return [record.to_dict() for record in tail]
+
+    def counters(self) -> dict:
+        """Aggregate counters across the server's lifetime."""
+        with self._lock:
+            return {
+                "total": self._total,
+                "by_status": dict(self._by_status),
+                "coalesced_requests": self._coalesced,
+                "max_coalesce_fan_in": self._max_fan_in,
+            }

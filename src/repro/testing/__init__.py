@@ -6,6 +6,11 @@ under ``tests/``) so downstream users can exercise their own integrations
 against injected failures.
 """
 
-from repro.testing.faults import FaultPlan, InjectedFault, inject_faults
+from repro.testing.faults import (
+    FaultCoverageError,
+    FaultPlan,
+    InjectedFault,
+    inject_faults,
+)
 
-__all__ = ["FaultPlan", "InjectedFault", "inject_faults"]
+__all__ = ["FaultCoverageError", "FaultPlan", "InjectedFault", "inject_faults"]

@@ -17,6 +17,13 @@ workload, ``after=N`` always interrupts the same position in the same loop —
 no timing, no randomness.  The plan records every checkpoint it observes
 (:attr:`FaultPlan.seen`) and every fault it fired (:attr:`FaultPlan.fired`),
 so tests can also assert coverage ("the fault actually hit mid-build").
+
+Coverage is enforced, not just recorded: when the ``with inject_faults(...)``
+block exits cleanly but an armed checkpoint name was *never observed* — the
+classic silent failure mode after a checkpoint rename — the context manager
+raises :class:`FaultCoverageError` so the test fails loudly instead of
+passing while injecting nothing.  Pass ``strict=False`` to opt out (e.g.
+when arming points on a path the workload only sometimes takes).
 """
 
 from __future__ import annotations
@@ -44,6 +51,25 @@ class InjectedFault(ReproError):
         )
         self.checkpoint = checkpoint
         self.occurrence = occurrence
+
+
+class FaultCoverageError(AssertionError):
+    """An armed checkpoint name was never observed while the plan was active.
+
+    Raised by :func:`inject_faults` on clean exit (strict mode, the default):
+    a fault armed at a checkpoint that no longer exists — typically because
+    the call site was renamed or removed — would otherwise let a consistency
+    test silently pass without ever injecting its fault.  Derives from
+    :class:`AssertionError` so test runners report it as a plain failure.
+    """
+
+    def __init__(self, names: list[str], seen: list[str]) -> None:
+        super().__init__(
+            f"armed checkpoint(s) {names!r} were never observed during the "
+            f"run — was the checkpoint renamed or removed?  Observed "
+            f"checkpoints: {sorted(seen)!r}"
+        )
+        self.names = names
 
 
 class FaultPlan:
@@ -102,16 +128,42 @@ class FaultPlan:
         self.fired.append((name, occurrence))
         raise error if error is not None else InjectedFault(name, occurrence)
 
+    def unseen_armed(self) -> list[str]:
+        """Names of still-armed checkpoints that were never observed."""
+        return sorted(name for name in self._armed if not self.seen[name])
+
+    def verify_coverage(self) -> None:
+        """Fail loudly if an armed checkpoint name was never observed.
+
+        A checkpoint that was observed but did not reach its ``after`` count
+        is *not* an error — the workload was just shorter than expected — but
+        a name the run never hit means the fault plan targets a checkpoint
+        that no longer exists.
+        """
+        unseen = self.unseen_armed()
+        if unseen:
+            raise FaultCoverageError(unseen, list(self.seen))
+
 
 @contextmanager
-def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+def inject_faults(plan: FaultPlan, strict: bool = True) -> Iterator[FaultPlan]:
     """Activate ``plan`` as the process-wide fault hook for the block.
 
     The previous hook (normally ``None``) is restored on exit, even when the
-    injected fault propagates out of the block.
+    injected fault propagates out of the block.  On *clean* exit with
+    ``strict=True`` (the default) the plan's coverage is verified: an armed
+    checkpoint name that was never observed raises
+    :class:`FaultCoverageError`, so a silent checkpoint rename cannot turn a
+    fault test into a no-op.  When an exception is already propagating the
+    verification is skipped — it must never mask the real failure.
     """
     previous = set_fault_hook(plan.observe)
     try:
         yield plan
+    except BaseException:
+        raise
+    else:
+        if strict:
+            plan.verify_coverage()
     finally:
         set_fault_hook(previous)

@@ -1,0 +1,293 @@
+"""Concurrent cache safety under fault injection (PR 7, satellite 3).
+
+Readers hammer the shared caches — :class:`TreeCache`,
+:class:`IndexCatalog`, and a whole :class:`PreparedQuery` — while builds
+fail mid-flight through the deterministic fault hook.  The invariant in
+every scenario: a reader either gets the injected fault (when the fault
+fires on its own thread) or a **fully consistent answer**; nobody ever
+observes a half-built tree, a partial index, or a wrong result, and after
+the faults stop everything still answers correctly.
+
+The fault hook is process-wide, so these tests arm checkpoints that only
+the hammered code paths reach and always restore the hook (via
+``inject_faults`` / ``finally``).  Workers synchronize on a barrier before
+touching the cache, so every thread observes the empty cache and the armed
+occurrences deterministically cover concurrent builds.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.engine import Engine
+from repro.joins.counting import count_from_tree
+from repro.joins.tree_cache import TreeCache
+from repro.query.join_query import JoinQuery
+from repro.runtime.context import set_fault_hook
+from repro.testing import FaultPlan, InjectedFault, inject_faults
+from repro.workloads.path import path_workload
+
+pytestmark = pytest.mark.faults
+
+QUERY_SPEC = "R1(x1,x2), R2(x2,x3), R3(x3,x4)"
+RANKING_SPEC = "sum(x1, x2)"
+
+
+def hammer(threads_count, worker):
+    """Run ``worker(position)`` on N threads; re-raise the first failure."""
+    failures = []
+
+    def wrapped(position):
+        try:
+            worker(position)
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(threads_count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+class BlockingFaultGate:
+    """Fault hook that guarantees truly concurrent builds, then faults one.
+
+    The first thread to reach the gated checkpoint blocks until ``expected``
+    threads have arrived — proving the cache let them all enter the build
+    path concurrently — and then raises :class:`InjectedFault` on that first
+    thread; everyone else proceeds to build.  This sidesteps GIL scheduling:
+    no timing assumption, the interleaving is forced.
+    """
+
+    def __init__(self, name: str, expected: int) -> None:
+        self.name = name
+        self.expected = expected
+        self._condition = threading.Condition()
+        self._arrived = 0
+        self.faulted = 0
+
+    def __call__(self, name: str) -> None:
+        if name != self.name:
+            return
+        with self._condition:
+            self._arrived += 1
+            first = self._arrived == 1
+            self._condition.notify_all()
+            if first:
+                deadline_ok = self._condition.wait_for(
+                    lambda: self._arrived >= self.expected, timeout=10.0
+                )
+                assert deadline_ok, "peer builders never reached the checkpoint"
+                self.faulted += 1
+                raise InjectedFault(name, 1)
+
+
+class TestTreeCacheUnderConcurrentFaults:
+    def test_faulted_builds_never_publish_partial_trees(self):
+        workload = path_workload(3, 40, 6, seed=3)
+        query = JoinQuery.parse(QUERY_SPEC)
+        cache = TreeCache(limit=4)
+        reference = cache.get(query, workload.db)
+        expected_rows = reference.total_rows()
+        expected_count = count_from_tree(reference)
+        cache.clear()
+
+        # The gate holds the first builder at the build checkpoint until a
+        # second builder arrives (so two builds are provably concurrent),
+        # then faults the first mid-flight; the rest build to completion.
+        gate = BlockingFaultGate("tree_cache.build", expected=2)
+        barrier = threading.Barrier(8)
+        trees = []
+        faults = []
+        lock = threading.Lock()
+
+        def worker(_position):
+            barrier.wait()
+            try:
+                tree = cache.get(query, workload.db)
+            except InjectedFault as fault:
+                with lock:
+                    faults.append(fault)
+                return
+            with lock:
+                trees.append(tree)
+
+        set_fault_hook(gate)
+        try:
+            hammer(8, worker)
+        finally:
+            set_fault_hook(None)
+
+        assert len(faults) == 1, "the gated first builder should have faulted"
+        assert gate.faulted == 1
+        assert trees, "expected successful readers besides the faulted one"
+        # Every successful reader got a complete tree — full materialized row
+        # count and the exact answer count, never a partially built node set.
+        for tree in trees:
+            assert tree.total_rows() == expected_rows
+            assert count_from_tree(tree) == expected_count
+        # The cache itself holds exactly one published, fully built entry.
+        assert len(cache) == 1
+        final = cache.get(query, workload.db)
+        assert count_from_tree(final) == expected_count
+
+    def test_concurrent_builders_converge_on_single_entry(self):
+        workload = path_workload(3, 40, 6, seed=4)
+        query = JoinQuery.parse(QUERY_SPEC)
+        cache = TreeCache(limit=4)
+        barrier = threading.Barrier(8)
+        trees = []
+        lock = threading.Lock()
+
+        def worker(_position):
+            barrier.wait()
+            tree = cache.get(query, workload.db)
+            with lock:
+                trees.append(tree)
+
+        hammer(8, worker)
+        assert len(cache) == 1
+        # Whoever published first won; later readers share that one tree.
+        final = cache.get(query, workload.db)
+        assert sum(1 for tree in trees if tree is final) >= 1
+
+    def test_mutation_during_build_is_never_published_stale(self):
+        workload = path_workload(3, 40, 6, seed=6)
+        query = JoinQuery.parse(QUERY_SPEC)
+        cache = TreeCache(limit=4)
+        relation = next(iter(workload.db))
+        mutated = threading.Event()
+
+        def mutating_hook(name):
+            # Mutate the database from under the build, exactly once.
+            if name == "tree_cache.build" and not mutated.is_set():
+                mutated.set()
+                relation.add((0, 0))
+
+        set_fault_hook(mutating_hook)
+        try:
+            served = cache.get(query, workload.db)
+        finally:
+            set_fault_hook(None)
+        assert mutated.is_set()
+        # The build observed a database that changed under it, so its tree
+        # must not have been published: the next read builds fresh against
+        # the mutated database and reports the post-mutation answer count.
+        fresh = cache.get(query, workload.db)
+        assert fresh is not served
+        clean = TreeCache(limit=4).get(query, workload.db)
+        assert count_from_tree(fresh) == count_from_tree(clean)
+
+
+class TestIndexCatalogUnderConcurrentFaults:
+    def test_faulted_index_build_leaves_no_partial_state(self):
+        rows = [(value % 7, value % 5) for value in range(200)]
+        reference = dict(Relation("R", ("a", "b"), rows).indexes.hash_index(("a",)))
+        relation = Relation("R", ("a", "b"), rows)  # fresh, empty catalog
+
+        gate = BlockingFaultGate("index.hash", expected=2)
+        barrier = threading.Barrier(8)
+        indexes = []
+        faults = []
+        lock = threading.Lock()
+
+        def worker(_position):
+            barrier.wait()
+            try:
+                index = relation.indexes.hash_index(("a",))
+            except InjectedFault as fault:
+                with lock:
+                    faults.append(fault)
+                return
+            with lock:
+                indexes.append(index)
+
+        set_fault_hook(gate)
+        try:
+            hammer(8, worker)
+        finally:
+            set_fault_hook(None)
+
+        assert len(faults) == 1
+        assert indexes, "expected successful readers"
+        for index in indexes:
+            assert dict(index) == reference  # complete, never partial
+        # All successful readers converged on one published structure.
+        assert len({id(index) for index in indexes}) == 1
+        assert dict(relation.indexes.hash_index(("a",))) == reference
+
+    def test_concurrent_weight_order_builders_share_one_order(self):
+        rows = [((value * 7919) % 101, value) for value in range(300)]
+        reference = list(
+            Relation("R", ("w", "v"), rows).indexes.weight_order(
+                "tag", lambda row: row[0]
+            )
+        )
+        relation = Relation("R", ("w", "v"), rows)  # fresh, empty catalog
+        barrier = threading.Barrier(8)
+        orders = []
+        lock = threading.Lock()
+
+        def worker(_position):
+            barrier.wait()
+            order = relation.indexes.weight_order("tag", lambda row: row[0])
+            with lock:
+                orders.append(order)
+
+        hammer(8, worker)
+        assert all(list(order) == reference for order in orders)
+        assert len({id(order) for order in orders}) == 1
+
+
+class TestPreparedQueryUnderConcurrentFaults:
+    def test_concurrent_quantiles_with_faulted_rebuilds_stay_correct(self):
+        workload = path_workload(3, 40, 6, seed=8)
+        engine = Engine(workload.db)
+        prepared = engine.prepare(QUERY_SPEC, RANKING_SPEC)
+        phis = [0.1, 0.25, 0.5, 0.75, 0.9]
+        expected = {phi: prepared.quantile(phi).weight for phi in phis}
+
+        # A second prepared query re-runs every lazy ensure from scratch;
+        # faults hit rebuild paths while ten threads race the same ensures.
+        fresh = engine.prepare(QUERY_SPEC, RANKING_SPEC, seed=99)
+        plan = (
+            FaultPlan()
+            .arm("tree_cache.build", after=1)
+            .arm("index.hash", after=4)
+        )
+        barrier = threading.Barrier(10)
+        outcomes = {}
+        lock = threading.Lock()
+
+        def worker(position):
+            barrier.wait()
+            phi = phis[position % len(phis)]
+            try:
+                weight = fresh.quantile(phi).weight
+            except InjectedFault:
+                weight = "faulted"
+            with lock:
+                outcomes.setdefault(phi, []).append(weight)
+
+        # strict=False: whether each armed occurrence is reached depends on
+        # thread interleaving (the ensures serialize under the state lock).
+        with inject_faults(plan, strict=False):
+            hammer(10, worker)
+
+        for phi, weights in outcomes.items():
+            for weight in weights:
+                assert weight in ("faulted", expected[phi]), (
+                    f"phi={phi}: inconsistent weight {weight!r} "
+                    f"(expected {expected[phi]!r} or a clean fault)"
+                )
+        # After the fault window closes every φ answers exactly right.
+        for phi in phis:
+            assert fresh.quantile(phi).weight == expected[phi]

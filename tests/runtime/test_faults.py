@@ -13,7 +13,7 @@ from repro.ranking.minmax import MaxRanking
 from repro.ranking.sum import SumRanking
 from repro.runtime import checkpoint
 from repro.runtime.context import set_fault_hook
-from repro.testing import FaultPlan, InjectedFault, inject_faults
+from repro.testing import FaultCoverageError, FaultPlan, InjectedFault, inject_faults
 from tests.conftest import assert_valid_quantile
 
 pytestmark = pytest.mark.faults
@@ -59,11 +59,44 @@ class TestFaultPlan:
 
     def test_unarmed_checkpoints_only_counted(self):
         plan = FaultPlan().arm("other")
-        with inject_faults(plan):
+        with inject_faults(plan, strict=False):
             checkpoint("spot")
             checkpoint("spot")
         assert plan.seen["spot"] == 2
         assert plan.fired == []
+
+    def test_armed_checkpoint_never_seen_fails_loudly(self):
+        # A silently renamed checkpoint must not turn the test into a no-op:
+        # strict mode (the default) raises on clean exit.
+        plan = FaultPlan().arm("renamed.checkpoint")
+        with pytest.raises(FaultCoverageError, match="renamed.checkpoint"):
+            with inject_faults(plan):
+                checkpoint("spot")
+        assert plan.unseen_armed() == ["renamed.checkpoint"]
+
+    def test_coverage_failure_lists_observed_checkpoints(self):
+        plan = FaultPlan().arm("gone")
+        with pytest.raises(FaultCoverageError, match="spot"):
+            with inject_faults(plan):
+                checkpoint("spot")
+
+    def test_coverage_error_is_an_assertion(self):
+        assert issubclass(FaultCoverageError, AssertionError)
+
+    def test_seen_but_not_due_is_not_a_coverage_failure(self):
+        # The workload was shorter than the arm count; the checkpoint exists,
+        # so this is a legitimate (if unfired) plan — no error.
+        plan = FaultPlan().arm("spot", after=5)
+        with inject_faults(plan):
+            checkpoint("spot")
+        assert plan.fired == []
+        assert plan.unseen_armed() == []
+
+    def test_coverage_never_masks_a_propagating_exception(self):
+        plan = FaultPlan().arm("never.seen")
+        with pytest.raises(RuntimeError, match="the real failure"):
+            with inject_faults(plan):
+                raise RuntimeError("the real failure")
 
     def test_negative_after_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,242 @@
+"""Request coalescing: merge windows, per-φ outcomes, per-key serialization."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import ShedRequestError
+from repro.service.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_runner(calls, delay=0.0, outcomes=None):
+    """A runner that records merged φ tuples and answers ``phi -> f"w{phi}"``."""
+
+    async def runner(merged):
+        calls.append(merged)
+        if delay:
+            await asyncio.sleep(delay)
+        mapping = {phi: (outcomes or {}).get(phi, f"w{phi}") for phi in merged}
+        return mapping, 0.01, 7
+
+    return runner
+
+
+async def noop_admit():
+    return 0.0
+
+
+def noop_release(_seconds):
+    return None
+
+
+class TestMerging:
+    def test_single_request_runs_alone(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+            outcome = await coalescer.submit(
+                "k", [0.5], noop_admit, noop_release, make_runner(calls)
+            )
+            assert outcome.outcomes == {0.5: "w0.5"}
+            assert outcome.fan_in == 1
+            assert outcome.checkpoints == 7
+            assert calls == [(0.5,)]
+
+        run(scenario())
+
+    def test_requests_merge_while_leader_queued(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+            gate = asyncio.Event()
+
+            async def blocking_admit():
+                await gate.wait()
+                return 0.1
+
+            tasks = [
+                asyncio.ensure_future(
+                    coalescer.submit(
+                        "k", [phi], blocking_admit, noop_release, make_runner(calls)
+                    )
+                )
+                for phi in (0.25, 0.5, 0.75)
+            ]
+            await asyncio.sleep(0.01)  # all three join while admit blocks
+            gate.set()
+            outcomes = await asyncio.gather(*tasks)
+            # One merged execution served all three callers.
+            assert calls == [(0.25, 0.5, 0.75)]
+            assert [o.fan_in for o in outcomes] == [3, 3, 3]
+            # Each caller sees exactly its own φ.
+            assert outcomes[0].outcomes == {0.25: "w0.25"}
+            assert outcomes[1].outcomes == {0.5: "w0.5"}
+            assert outcomes[2].outcomes == {0.75: "w0.75"}
+            assert outcomes[0].queue_seconds == 0.1
+            stats = coalescer.stats()
+            assert stats["batches"] == 1
+            assert stats["requests"] == 3
+            assert stats["merged_requests"] == 2
+            assert stats["max_fan_in"] == 3
+
+        run(scenario())
+
+    def test_duplicate_phis_executed_once(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+            gate = asyncio.Event()
+
+            async def blocking_admit():
+                await gate.wait()
+                return 0.0
+
+            tasks = [
+                asyncio.ensure_future(
+                    coalescer.submit(
+                        "k", [0.5], blocking_admit, noop_release, make_runner(calls)
+                    )
+                )
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.01)
+            gate.set()
+            outcomes = await asyncio.gather(*tasks)
+            assert calls == [(0.5,)]  # one distinct φ despite four callers
+            assert all(o.outcomes == {0.5: "w0.5"} for o in outcomes)
+
+        run(scenario())
+
+    def test_different_keys_do_not_merge(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+            await asyncio.gather(
+                coalescer.submit("a", [0.5], noop_admit, noop_release, make_runner(calls)),
+                coalescer.submit("b", [0.5], noop_admit, noop_release, make_runner(calls)),
+            )
+            assert len(calls) == 2
+
+        run(scenario())
+
+
+class TestOutcomePropagation:
+    def test_per_phi_error_reaches_only_its_callers(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+            boom = ValueError("phi exploded")
+            gate = asyncio.Event()
+
+            async def blocking_admit():
+                await gate.wait()
+                return 0.0
+
+            runner = make_runner(calls, outcomes={0.5: boom})
+            ok_task = asyncio.ensure_future(
+                coalescer.submit("k", [0.25], blocking_admit, noop_release, runner)
+            )
+            bad_task = asyncio.ensure_future(
+                coalescer.submit("k", [0.5], blocking_admit, noop_release, runner)
+            )
+            await asyncio.sleep(0.01)
+            gate.set()
+            ok, bad = await asyncio.gather(ok_task, bad_task)
+            assert ok.outcomes == {0.25: "w0.25"}  # untouched by the failure
+            assert bad.outcomes[0.5] is boom
+
+        run(scenario())
+
+    def test_shed_propagates_to_every_merged_caller(self):
+        async def scenario():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+
+            async def shedding_admit():
+                await gate.wait()
+                raise ShedRequestError("queue full", 0.5)
+
+            tasks = [
+                asyncio.ensure_future(
+                    coalescer.submit(
+                        "k", [phi], shedding_admit, noop_release, make_runner([])
+                    )
+                )
+                for phi in (0.25, 0.75)
+            ]
+            await asyncio.sleep(0.01)
+            gate.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(r, ShedRequestError) for r in results)
+
+        run(scenario())
+
+    def test_runner_crash_fails_every_caller(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def broken_runner(_merged):
+                raise RuntimeError("engine died")
+
+            with pytest.raises(RuntimeError):
+                await coalescer.submit(
+                    "k", [0.5], noop_admit, noop_release, broken_runner
+                )
+
+        run(scenario())
+
+
+class TestSerialization:
+    def test_same_key_batches_never_overlap(self):
+        async def scenario():
+            coalescer = Coalescer()
+            running = 0
+            peak = 0
+
+            async def runner(merged):
+                nonlocal running, peak
+                running += 1
+                peak = max(peak, running)
+                await asyncio.sleep(0.02)
+                running -= 1
+                return {phi: "w" for phi in merged}, 0.0, 0
+
+            await asyncio.gather(
+                *(
+                    coalescer.submit("k", [0.1 * i], noop_admit, noop_release, runner)
+                    for i in range(1, 6)
+                )
+            )
+            assert peak == 1  # per-key serialization held
+
+        run(scenario())
+
+    def test_distinct_keys_may_overlap(self):
+        async def scenario():
+            coalescer = Coalescer()
+            running = 0
+            peak = 0
+
+            async def runner(merged):
+                nonlocal running, peak
+                running += 1
+                peak = max(peak, running)
+                await asyncio.sleep(0.02)
+                running -= 1
+                return {phi: "w" for phi in merged}, 0.0, 0
+
+            await asyncio.gather(
+                *(
+                    coalescer.submit(f"k{i}", [0.5], noop_admit, noop_release, runner)
+                    for i in range(4)
+                )
+            )
+            assert peak > 1  # no cross-key serialization
+
+        run(scenario())

@@ -1,0 +1,345 @@
+"""End-to-end service tests over real HTTP: lifecycle, queries, shedding."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.engine import Engine
+from repro.exceptions import ExecutionCancelledError
+from repro.service import (
+    QuantileService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.workloads.path import path_workload
+
+QUERY = "R1(x1,x2), R2(x2,x3), R3(x3,x4)"
+RANKING = "sum(x1, x2)"
+#: MAX over the path endpoints + tight rows: exact-pivot trips, sampling fits
+#: (same shape as tests/runtime/test_degradation.py's three_path recipe).
+DEGRADE_RANKING = "max(x1, x4)"
+DEGRADE_KNOBS = dict(epsilon=0.3, max_rows=1500, on_budget="degrade", seed=7)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return path_workload(3, 50, 6, seed=5)
+
+
+@pytest.fixture()
+def service(workload):
+    service = QuantileService(
+        ServiceConfig(max_inflight=2, max_queue=8, queue_timeout=2.0, drain_grace=5.0)
+    )
+    service.pool.register("demo", workload.db)
+    handle = ServiceThread(service).start()
+    try:
+        yield service, ServiceClient.from_url(handle.url)
+    finally:
+        if handle.exit_code is None and handle.error is None:
+            handle.shutdown()
+
+
+class TestLifecycle:
+    def test_health_and_readiness(self, service):
+        _, client = service
+        assert client.health().status == 200
+        ready = client.ready()
+        assert ready.status == 200
+        assert ready.payload == {"status": "ready"}
+
+    def test_readiness_requires_registered_databases(self):
+        empty = QuantileService(ServiceConfig())
+        handle = ServiceThread(empty).start()
+        try:
+            client = ServiceClient.from_url(handle.url)
+            assert client.health().status == 200
+            assert client.ready().status == 503
+        finally:
+            handle.shutdown()
+
+    def test_graceful_shutdown_is_clean(self, workload):
+        svc = QuantileService(ServiceConfig())
+        svc.pool.register("demo", workload.db)
+        handle = ServiceThread(svc).start()
+        client = ServiceClient.from_url(handle.url)
+        assert client.query("demo", QUERY, RANKING, phis=[0.5]).status == 200
+        response = client.shutdown()
+        assert response.status == 202
+        assert handle.shutdown() == 0
+        assert svc.orphaned_tasks == 0
+
+    def test_draining_server_sheds_new_queries(self, workload):
+        svc = QuantileService(ServiceConfig(drain_grace=2.0))
+        svc.pool.register("demo", workload.db)
+        handle = ServiceThread(svc).start()
+        client = ServiceClient.from_url(handle.url)
+        client.shutdown()
+        handle.shutdown()
+        assert svc.draining
+
+    def test_unknown_path_404(self, service):
+        _, client = service
+        assert client.request("GET", "/nope").status == 404
+
+    def test_get_on_query_405(self, service):
+        _, client = service
+        assert client.request("GET", "/query").status == 405
+
+
+class TestQueries:
+    def test_quantile_matches_direct_engine(self, service, workload):
+        _, client = service
+        response = client.query("demo", QUERY, RANKING, phis=[0.25, 0.5, 0.75])
+        assert response.status == 200
+        direct = Engine(workload.db).prepare(QUERY, RANKING)
+        for entry in response.payload["results"]:
+            expected = direct.quantile(entry["phi"])
+            assert entry["weight"] == expected.weight
+            assert entry["total_answers"] == expected.total_answers
+            assert entry["exact"] is True
+
+    def test_selection_by_index(self, service, workload):
+        _, client = service
+        response = client.query("demo", QUERY, RANKING, index=5)
+        assert response.status == 200
+        expected = Engine(workload.db).prepare(QUERY, RANKING).selection(5)
+        assert response.payload["results"][0]["weight"] == expected.weight
+
+    def test_repeat_queries_hit_prepared_cache(self, service):
+        svc, client = service
+        client.query("demo", QUERY, RANKING, phis=[0.5])
+        client.query("demo", QUERY, RANKING, phis=[0.25])
+        assert svc.pool.hits >= 1
+
+    def test_response_carries_latency_split(self, service):
+        _, client = service
+        payload = client.query("demo", QUERY, RANKING, phis=[0.5]).payload
+        assert payload["queue_seconds"] >= 0.0
+        assert payload["execute_seconds"] > 0.0
+        assert payload["coalesce_fan_in"] >= 1
+
+
+class TestValidation:
+    def test_unknown_database_404(self, service):
+        _, client = service
+        response = client.query("nope", QUERY, RANKING, phis=[0.5])
+        assert response.status == 404
+        assert "nope" in response.payload["error"]
+
+    def test_phi_out_of_range_400(self, service):
+        _, client = service
+        assert client.query("demo", QUERY, RANKING, phis=[1.5]).status == 400
+
+    def test_phis_and_index_are_exclusive(self, service):
+        _, client = service
+        both = client.request(
+            "POST", "/query",
+            {"db": "demo", "query": QUERY, "ranking": RANKING, "phis": [0.5], "index": 1},
+        )
+        assert both.status == 400
+        neither = client.request(
+            "POST", "/query", {"db": "demo", "query": QUERY, "ranking": RANKING}
+        )
+        assert neither.status == 400
+
+    def test_malformed_json_400(self, service):
+        _, client = service
+        import http.client
+
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/query", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_engine_error_is_structured_400(self, service):
+        _, client = service
+        # Full-SUM over the path endpoints is conditionally intractable.
+        response = client.query("demo", QUERY, "sum(x1, x4)", phis=[0.5])
+        assert response.status == 400
+        assert "intractable" in response.payload["error"]
+
+
+class TestBudgetsAndDegradation:
+    def test_all_phis_budget_exhausted_504(self, service):
+        _, client = service
+        response = client.query(
+            "demo", QUERY, RANKING, phis=[0.5], max_rows=50, on_budget="error"
+        )
+        assert response.status == 504
+        error = response.payload["results"][0]["error"]
+        assert error["type"] == "BudgetExceededError"
+        assert error["budget"] == "rows"
+        assert error["checkpoint"]
+
+    def test_degraded_result_is_flagged_per_request(self, service):
+        _, client = service
+        response = client.query(
+            "demo", QUERY, DEGRADE_RANKING, phis=[0.5], **DEGRADE_KNOBS
+        )
+        assert response.status == 200
+        entry = response.payload["results"][0]
+        assert entry["degraded"] is True
+        assert entry["strategy"] == "sampling"
+        assert "->" in entry["degradation"]
+        assert response.payload["degraded"] is True
+
+    def test_server_survives_budget_errors(self, service):
+        _, client = service
+        for _ in range(3):
+            client.query("demo", QUERY, RANKING, phis=[0.5], max_rows=10, on_budget="error")
+        assert client.health().status == 200
+        assert client.query("demo", QUERY, RANKING, phis=[0.5]).status == 200
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_coalesce(self, workload):
+        svc = QuantileService(ServiceConfig(max_inflight=1, max_queue=16, queue_timeout=10.0))
+        svc.pool.register("demo", workload.db)
+        handle = ServiceThread(svc).start()
+        try:
+            client = ServiceClient.from_url(handle.url)
+            responses = [None] * 8
+
+            def issue(position):
+                responses[position] = client.query(
+                    "demo", QUERY, RANKING, phis=[0.1 * (position + 1)]
+                )
+
+            threads = [threading.Thread(target=issue, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(r.status == 200 for r in responses)
+            stats = client.stats()
+            # With one execution slot and a cold prepare, later arrivals must
+            # have merged: strictly fewer batches than requests.
+            assert stats["coalescing"]["batches"] < stats["coalescing"]["requests"]
+            assert stats["coalescing"]["max_fan_in"] >= 2
+            assert any(r.payload["coalesce_fan_in"] >= 2 for r in responses)
+        finally:
+            handle.shutdown()
+
+    def test_coalesced_degraded_answers_annotate_fan_in(self, workload):
+        svc = QuantileService(ServiceConfig(max_inflight=1, max_queue=16, queue_timeout=10.0))
+        svc.pool.register("demo", workload.db)
+        handle = ServiceThread(svc).start()
+        try:
+            client = ServiceClient.from_url(handle.url)
+            responses = [None] * 4
+
+            def issue(position):
+                responses[position] = client.query(
+                    "demo", QUERY, DEGRADE_RANKING,
+                    phis=[0.3 + 0.1 * position], **DEGRADE_KNOBS,
+                )
+
+            threads = [threading.Thread(target=issue, args=(i,)) for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(r.status == 200 for r in responses)
+            shared = [r for r in responses if r.payload["coalesce_fan_in"] > 1]
+            assert shared, "expected at least one coalesced response"
+            for response in shared:
+                entry = response.payload["results"][0]
+                assert entry["degraded"] is True
+                assert (
+                    f"fan-in={response.payload['coalesce_fan_in']}"
+                    in entry["degradation"]
+                )
+        finally:
+            handle.shutdown()
+
+
+class TestShedding:
+    def test_overload_sheds_with_retry_after(self, workload):
+        svc = QuantileService(
+            ServiceConfig(max_inflight=1, max_queue=0, queue_timeout=0.2)
+        )
+        svc.pool.register("demo", workload.db)
+        handle = ServiceThread(svc).start()
+        try:
+            client = ServiceClient.from_url(handle.url)
+            responses = [None] * 8
+
+            def issue(position):
+                # Distinct seeds defeat coalescing so every request needs its
+                # own slot — with one slot and no queue, most must shed.
+                responses[position] = client.query(
+                    "demo", QUERY, RANKING, phis=[0.5], seed=position
+                )
+
+            threads = [threading.Thread(target=issue, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            statuses = sorted(r.status for r in responses)
+            assert 429 in statuses
+            assert 200 in statuses  # overload never blanks the service out
+            for response in responses:
+                if response.status == 429:
+                    assert response.payload["shed"] is True
+                    assert response.retry_after is not None
+                    assert response.retry_after > 0
+            assert client.health().status == 200
+            stats = client.stats()
+            assert stats["requests"]["by_status"].get("shed", 0) >= 1
+        finally:
+            handle.shutdown()
+
+
+class TestRecords:
+    def test_every_request_record_is_structured(self, service):
+        _, client = service
+        client.query("demo", QUERY, RANKING, phis=[0.5])
+        records = client.stats()["recent"]
+        assert records
+        record = records[-1]
+        for key in (
+            "request_id", "db", "query", "ranking", "phis", "status",
+            "http_status", "queue_seconds", "execute_seconds", "total_seconds",
+            "coalesce_fan_in", "degraded", "degradation_rungs", "checkpoints",
+        ):
+            assert key in record
+        assert record["status"] == "ok"
+        assert record["checkpoints"] > 0
+        assert json.dumps(record)  # JSON-serializable end to end
+
+    def test_degraded_request_recorded_with_rungs(self, service):
+        _, client = service
+        client.query("demo", QUERY, DEGRADE_RANKING, phis=[0.5], **DEGRADE_KNOBS)
+        record = client.stats()["recent"][-1]
+        assert record["status"] == "degraded"
+        assert record["degraded"] is True
+        assert record["degradation_rungs"]
+
+    def test_counters_aggregate_by_status(self, service):
+        _, client = service
+        client.query("demo", QUERY, RANKING, phis=[0.5])
+        client.query("nope", QUERY, RANKING, phis=[0.5])
+        counters = client.stats()["requests"]
+        assert counters["total"] >= 2
+        assert counters["by_status"].get("ok", 0) >= 1
+        assert counters["by_status"].get("error", 0) >= 1
+
+
+class TestDrainCancellation:
+    def test_drain_token_cancels_batch_cooperatively(self, workload):
+        svc = QuantileService(ServiceConfig())
+        svc.pool.register("demo", workload.db)
+        svc._drain_token.cancel("test drain")
+        outcomes, _, _ = svc._run_batch("demo", QUERY, RANKING, {}, "phi", (0.5,))
+        assert isinstance(outcomes[0.5], ExecutionCancelledError)
