@@ -1,0 +1,44 @@
+"""Project-specific static analysis: AST rules enforcing runtime contracts.
+
+``python -m repro.analysis`` walks ``src/repro`` and ``benchmarks`` and
+enforces the invariants the runtime and service layers rely on:
+
+========  ============================================================
+RPR001    hot-path loops must reach ``checkpoint()``
+RPR002    shared-cache published attributes mutate only under the lock
+RPR003    no blocking calls inside ``async def`` service code
+RPR004    library errors use the typed ``ReproError`` taxonomy
+RPR005    benchmark/workload randomness is seeded
+========  ============================================================
+
+Pre-existing, justified violations live in the committed
+``analysis-baseline.json``; new violations fail the run (exit code 1).
+See the README's "Static analysis" section for the waiver workflow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineEntry, match_findings
+from repro.analysis.engine import (
+    Analyzer,
+    AnalysisResult,
+    Finding,
+    ParsedModule,
+    Rule,
+    Severity,
+)
+from repro.analysis.rules import RULE_CLASSES, default_rules
+
+__all__ = [
+    "Analyzer",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "RULE_CLASSES",
+    "Severity",
+    "default_rules",
+    "match_findings",
+]

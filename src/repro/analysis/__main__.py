@@ -1,0 +1,233 @@
+"""Command-line runner for the invariant checker.
+
+Usage (from the repository root)::
+
+    python -m repro.analysis                       # text report, exit 0/1
+    python -m repro.analysis --format json         # machine-readable report
+    python -m repro.analysis --update-baseline     # regenerate the baseline
+    python -m repro.analysis --list-rules          # rule ids + descriptions
+
+Exit codes
+----------
+0   no findings beyond the committed baseline
+1   new (non-baselined) findings
+2   usage or internal error (bad paths, unreadable baseline, ...)
+
+The JSON report schema is stable and consumed by CI::
+
+    {
+      "version": 1,
+      "files_checked": N,
+      "rules": [{"id", "description", "severity"}, ...],
+      "findings": [{"rule", "severity", "path", "line", "column",
+                    "message", "context", "symbol", "key"}, ...],
+      "baselined": N, "waived": N, "new": N,
+      "stale_baseline_keys": [...]
+    }
+
+``findings`` contains only the *new* violations — the ones that fail the
+run; grandfathered and waived counts are reported for the burn-down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, match_findings
+from repro.analysis.engine import Analyzer, Severity
+from repro.analysis.rules import RULE_CLASSES, default_rules
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+DEFAULT_PATHS = ("src/repro", "benchmarks")
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory findings paths are made relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "regenerate the baseline from the current findings "
+            "(deterministic: sorted keys; existing justifications are kept)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--output",
+        default="",
+        metavar="FILE",
+        help="also write the JSON report to FILE (any --format)",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for cls in RULE_CLASSES:
+        lines.append(f"{cls.rule_id}  [{cls.severity}]  {cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(list_rules())
+        return 0
+
+    select: frozenset[str] | None = None
+    if options.select:
+        select = frozenset(part.strip() for part in options.select.split(","))
+        known = {cls.rule_id for cls in RULE_CLASSES}
+        unknown = select - known
+        if unknown:
+            print(
+                f"error: unknown rule ids: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    root = Path(options.root)
+    if not root.is_dir():
+        print(f"error: --root {options.root!r} is not a directory", file=sys.stderr)
+        return 2
+
+    raw_paths = options.paths or list(DEFAULT_PATHS)
+    paths = []
+    for raw in raw_paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            print(f"error: path does not exist: {raw}", file=sys.stderr)
+            return 2
+        paths.append(path)
+
+    baseline_path = Path(options.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    try:
+        baseline = (
+            Baseline() if options.no_baseline else Baseline.load(baseline_path)
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: unreadable baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(default_rules(select), root=root)
+    result = analyzer.run(paths)
+    all_findings = result.all_findings
+
+    if options.update_baseline:
+        previous = Baseline.load(baseline_path) if baseline_path.exists() else None
+        regenerated = Baseline.from_findings(all_findings, previous=previous)
+        regenerated.save(baseline_path)
+        print(
+            f"baseline updated: {len(regenerated.entries)} keys covering "
+            f"{len(all_findings)} findings -> {baseline_path}"
+        )
+        return 0
+
+    match = match_findings(all_findings, baseline)
+
+    report = {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "rules": [
+            {
+                "id": cls.rule_id,
+                "description": cls.description,
+                "severity": cls.severity,
+            }
+            for cls in RULE_CLASSES
+            if select is None or cls.rule_id in select
+        ],
+        "findings": [finding.to_dict() for finding in match.new],
+        "baselined": len(match.baselined),
+        "waived": len(result.waived),
+        "new": len(match.new),
+        "stale_baseline_keys": match.stale_keys,
+    }
+
+    if options.output:
+        output_path = Path(options.output)
+        output_path.write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if options.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in match.new:
+            print(finding.render())
+        summary = (
+            f"{result.files_checked} files checked: "
+            f"{len(match.new)} new, {len(match.baselined)} baselined, "
+            f"{len(result.waived)} waived"
+        )
+        if match.stale_keys:
+            summary += f", {len(match.stale_keys)} stale baseline keys"
+            print(
+                "stale baseline entries (fixed code — burn them down with "
+                "--update-baseline):"
+            )
+            for key in match.stale_keys:
+                print(f"  {key}")
+        print(summary)
+
+    worst = max(
+        (Severity.rank(f.severity) for f in match.new),
+        default=-1,
+    )
+    return 1 if worst >= 0 else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

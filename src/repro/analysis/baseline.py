@@ -1,0 +1,133 @@
+"""Committed baseline of grandfathered findings.
+
+New violations must fail CI immediately, but the initial rule rollout
+surfaces pre-existing code that is *deliberately* outside the contract (a
+bounded O(log n) loop that needs no checkpoint, a constructor validation
+that predates the typed-error taxonomy).  Those live in a committed JSON
+baseline: every entry carries a one-line justification, the file is
+regenerated deterministically (sorted keys, stable counts) by
+``python -m repro.analysis --update-baseline``, and the burn-down is just
+the diff of that file shrinking over time.
+
+Matching is by :attr:`repro.analysis.engine.Finding.key` — rule id, file,
+enclosing scope, and rule-specific symbol, *not* line numbers — so entries
+survive unrelated edits.  Each key allows up to ``count`` findings; the
+first findings beyond the allowance (and any key not present at all) are
+"new" and fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "match_findings"]
+
+#: Placeholder justification written for entries added by --update-baseline.
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+#: Current schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    """Allowance for one finding key."""
+
+    count: int
+    justification: str = TODO_JUSTIFICATION
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, keyed by finding identity."""
+
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries: dict[str, BaselineEntry] = {}
+        for key, raw in data.get("entries", {}).items():
+            entries[key] = BaselineEntry(
+                count=int(raw.get("count", 1)),
+                justification=str(raw.get("justification", TODO_JUSTIFICATION)),
+            )
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline deterministically: sorted keys, stable fields."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro.analysis",
+            "entries": {
+                key: {
+                    "count": entry.count,
+                    "justification": entry.justification,
+                }
+                for key, entry in sorted(self.entries.items())
+            },
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Baseline covering exactly ``findings``.
+
+        Justifications of keys already present in ``previous`` are carried
+        over so ``--update-baseline`` never erases the audit trail; new keys
+        get the :data:`TODO_JUSTIFICATION` placeholder for the reviewer to
+        replace.
+        """
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.key] = counts.get(finding.key, 0) + 1
+        entries: dict[str, BaselineEntry] = {}
+        for key, count in counts.items():
+            justification = TODO_JUSTIFICATION
+            if previous is not None and key in previous.entries:
+                justification = previous.entries[key].justification
+            entries[key] = BaselineEntry(count=count, justification=justification)
+        return cls(entries=entries)
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of matching a run's findings against the baseline."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    #: Baseline keys whose allowance exceeded the findings seen — stale
+    #: entries that should be burned down with --update-baseline.
+    stale_keys: list[str]
+
+
+def match_findings(findings: list[Finding], baseline: Baseline) -> BaselineMatch:
+    """Split ``findings`` into new vs. grandfathered, and spot stale keys."""
+    seen: dict[str, int] = {}
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        allowance = baseline.entries.get(finding.key)
+        used = seen.get(finding.key, 0)
+        if allowance is not None and used < allowance.count:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+        seen[finding.key] = used + 1
+    stale = [
+        key
+        for key, entry in sorted(baseline.entries.items())
+        if seen.get(key, 0) < entry.count
+    ]
+    return BaselineMatch(new=new, baselined=baselined, stale_keys=stale)

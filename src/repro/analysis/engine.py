@@ -1,0 +1,404 @@
+"""AST-walker engine for the project's invariant checker.
+
+The runtime and service layers are held together by contracts that no
+general-purpose linter knows about: hot loops must reach a
+:func:`repro.runtime.checkpoint` call, shared caches must publish under
+their lock, async service code must never block the event loop, errors must
+be typed :class:`~repro.exceptions.ReproError`\\ s, and benchmark randomness
+must be seeded.  This module provides the machinery to *enforce* those
+contracts at CI time:
+
+* :class:`Finding` — one violation, with file/line/rule-id/severity and a
+  stable :attr:`~Finding.key` used by the committed baseline;
+* :class:`ParsedModule` — a parsed source file plus the helpers rules need
+  (scope qualnames, waiver comments, ancestor chains);
+* :class:`Rule` — the plug-in base class; a rule declares which files it
+  applies to and yields findings from the module's AST;
+* :class:`Analyzer` — walks a file tree, dispatches every applicable rule,
+  and filters findings waived by an inline comment.
+
+Waivers
+-------
+A finding can be silenced at the source line with an explicit comment::
+
+    for row in rows:  # repro-analysis: allow RPR001 -- O(1) bounded loop
+
+The comment may sit on the flagged line or the line directly above it.  The
+``-- reason`` part is mandatory: an unexplained waiver is itself ignored, so
+silencing a rule always costs one line of justification.  Grandfathered
+findings live in the committed baseline instead (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "Severity",
+    "iter_python_files",
+]
+
+
+class Severity:
+    """Severity levels, ordered from advisory to blocking."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    ORDER: ClassVar[tuple[str, ...]] = (NOTE, WARNING, ERROR)
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        """Position of ``severity`` in :attr:`ORDER` (unknown sorts last)."""
+        try:
+            return cls.ORDER.index(severity)
+        except ValueError:
+            return len(cls.ORDER)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    The :attr:`key` deliberately excludes the line number: baselined
+    findings must survive unrelated edits above them, so the stable identity
+    is (rule, file, enclosing scope, rule-specific symbol).  Multiple
+    findings with the same key in one file are matched against the
+    baseline by count.
+    """
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    message: str
+    #: Dotted qualname of the enclosing scope (``"<module>"`` at top level).
+    context: str = "<module>"
+    #: Rule-specific stable symbol (loop kind, exception name, call name...).
+    symbol: str = ""
+
+    @property
+    def key(self) -> str:
+        """Stable baseline identity: ``rule:path:context:symbol``."""
+        return f"{self.rule_id}:{self.path}:{self.context}:{self.symbol}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "context": self.context,
+            "symbol": self.symbol,
+            "key": self.key,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form (used by ``--format text``)."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+
+#: ``# repro-analysis: allow RPR001 -- reason`` (reason required).
+_WAIVER_RE = re.compile(
+    r"#\s*repro-analysis:\s*allow\s+(?P<rules>RPR\d{3}(?:\s*,\s*RPR\d{3})*)"
+    r"\s*--\s*(?P<reason>\S.*)$"
+)
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus the lookup helpers rules share."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    _parents: dict[int, ast.AST] = field(default_factory=dict)
+    _scopes: dict[int, str] = field(default_factory=dict)
+    _waivers: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ParsedModule":
+        """Parse ``source`` and precompute parent links, scopes, waivers."""
+        tree = ast.parse(source, filename=path)
+        module = cls(path=path, source=source, tree=tree, lines=source.splitlines())
+        module._link_parents()
+        module._collect_waivers()
+        return module
+
+    # ------------------------------------------------------------------ #
+    # Structure helpers
+    # ------------------------------------------------------------------ #
+    def _link_parents(self) -> None:
+        scope_names: dict[int, str] = {id(self.tree): "<module>"}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                enclosing = self._enclosing_scope_name(node, scope_names)
+                if enclosing in ("", "<module>"):
+                    qualname = node.name
+                else:
+                    qualname = f"{enclosing}.{node.name}"
+                scope_names[id(node)] = qualname
+        self._scopes = scope_names
+
+    def _enclosing_scope_name(
+        self, node: ast.AST, scope_names: dict[int, str]
+    ) -> str:
+        current = self._parents.get(id(node))
+        while current is not None:
+            name = scope_names.get(id(current))
+            if name is not None:
+                return name
+            current = self._parents.get(id(current))
+        return "<module>"
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield enclosing nodes from the immediate parent to the module."""
+        current = self._parents.get(id(node))
+        while current is not None:
+            yield current
+            current = self._parents.get(id(current))
+
+    def scope_name(self, node: ast.AST) -> str:
+        """Dotted qualname of the scope enclosing ``node``."""
+        for ancestor in self.ancestors(node):
+            name = self._scopes.get(id(ancestor))
+            if name is not None:
+                return name
+        return "<module>"
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function definition containing ``node``, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Waivers
+    # ------------------------------------------------------------------ #
+    def _collect_waivers(self) -> None:
+        for number, text in enumerate(self.lines, start=1):
+            match = _WAIVER_RE.search(text)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group("rules").split(",")}
+            self._waivers.setdefault(number, set()).update(rules)
+
+    def waived(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is waived at ``line`` (same or previous line)."""
+        for candidate in (line, line - 1):
+            if rule_id in self._waivers.get(candidate, set()):
+                return True
+        return False
+
+    @property
+    def waiver_lines(self) -> dict[int, set[str]]:
+        """Mapping of line number to the rule ids waived there."""
+        return dict(self._waivers)
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`.  A rule
+    never filters its own waivers or consults the baseline — the
+    :class:`Analyzer` owns both, so every rule stays a pure AST query.
+    """
+
+    rule_id: ClassVar[str] = "RPR000"
+    description: ClassVar[str] = ""
+    severity: ClassVar[str] = Severity.ERROR
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule inspects the file at (posix, relative) ``path``."""
+        return True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield every violation found in ``module``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Conveniences shared by the concrete rules
+    # ------------------------------------------------------------------ #
+    def finding(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        message: str,
+        symbol: str = "",
+    ) -> Finding:
+        """Build a :class:`Finding` for ``node`` in ``module``."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            context=module.scope_name(node),
+            symbol=symbol,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_checkpoint_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a call that reaches the runtime checkpoint.
+
+    Recognizes the canonical ``checkpoint(...)`` (however imported or
+    re-exported) and explicit ``<context>.checkpoint(...)`` method calls.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "checkpoint"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "checkpoint"
+    return False
+
+
+def iter_python_files(roots: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``*.py`` file under ``roots`` in sorted order.
+
+    Hidden directories and ``__pycache__`` are skipped; a root that is
+    itself a file is yielded as-is.
+    """
+    for root in roots:
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for path in sorted(root.rglob("*.py")):
+            parts = path.parts
+            if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                continue
+            yield path
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: list[Finding]
+    #: Findings silenced by an inline waiver comment (reported for audit).
+    waived: list[Finding]
+    files_checked: int
+    parse_errors: list[Finding]
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        """Active findings plus parse errors, in deterministic order."""
+        combined = [*self.parse_errors, *self.findings]
+        combined.sort(key=lambda f: (f.path, f.line, f.rule_id, f.column))
+        return combined
+
+
+class Analyzer:
+    """Dispatch a rule set over a file tree and collect findings.
+
+    Parameters
+    ----------
+    rules:
+        The rules to run.  Order does not matter; output is sorted.
+    root:
+        Paths in findings are made relative to this directory (posix form),
+        which is what keeps baseline keys machine-independent.
+    """
+
+    def __init__(self, rules: Iterable[Rule], root: Path) -> None:
+        self.rules = list(rules)
+        self.root = root.resolve()
+
+    def relative_path(self, path: Path) -> str:
+        """``path`` relative to the analyzer root, in posix form."""
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def run(self, paths: Sequence[Path]) -> AnalysisResult:
+        """Analyze every python file under ``paths``."""
+        findings: list[Finding] = []
+        waived: list[Finding] = []
+        parse_errors: list[Finding] = []
+        files_checked = 0
+        for file_path in iter_python_files(paths):
+            relative = self.relative_path(file_path)
+            applicable = [rule for rule in self.rules if rule.applies_to(relative)]
+            if not applicable:
+                continue
+            files_checked += 1
+            source = file_path.read_text(encoding="utf-8")
+            try:
+                module = ParsedModule.parse(relative, source)
+            except SyntaxError as exc:
+                parse_errors.append(
+                    Finding(
+                        rule_id="RPR000",
+                        severity=Severity.ERROR,
+                        path=relative,
+                        line=exc.lineno or 0,
+                        column=(exc.offset or 0) or 1,
+                        message=f"syntax error: {exc.msg}",
+                        symbol="syntax-error",
+                    )
+                )
+                continue
+            for rule in applicable:
+                for finding in rule.check(module):
+                    if module.waived(finding.rule_id, finding.line):
+                        waived.append(finding)
+                    else:
+                        findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.column))
+        waived.sort(key=lambda f: (f.path, f.line, f.rule_id, f.column))
+        return AnalysisResult(
+            findings=findings,
+            waived=waived,
+            files_checked=files_checked,
+            parse_errors=parse_errors,
+        )

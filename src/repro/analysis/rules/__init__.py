@@ -1,0 +1,42 @@
+"""The registered rule set of the invariant checker.
+
+Rules are instantiated fresh per run via :func:`default_rules` so that a
+caller mutating a rule's configuration (tests do) never leaks into another
+run.  :data:`RULE_CLASSES` is the authoritative registry — adding a rule
+means adding its class here and documenting its id in the README.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.async_blocking import NoBlockingInAsyncRule
+from repro.analysis.rules.checkpoints import CheckpointDisciplineRule
+from repro.analysis.rules.errors import TypedErrorsRule
+from repro.analysis.rules.locks import LockPublishRule
+from repro.analysis.rules.randomness import SeededRandomnessRule
+
+__all__ = [
+    "CheckpointDisciplineRule",
+    "LockPublishRule",
+    "NoBlockingInAsyncRule",
+    "TypedErrorsRule",
+    "SeededRandomnessRule",
+    "RULE_CLASSES",
+    "default_rules",
+]
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    CheckpointDisciplineRule,
+    LockPublishRule,
+    NoBlockingInAsyncRule,
+    TypedErrorsRule,
+    SeededRandomnessRule,
+)
+
+
+def default_rules(select: frozenset[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules, optionally restricted to ``select``."""
+    rules = [cls() for cls in RULE_CLASSES]
+    if select is not None:
+        rules = [rule for rule in rules if rule.rule_id in select]
+    return rules

@@ -1,0 +1,102 @@
+"""RPR003 — async service code must never block the event loop.
+
+The always-on service is a single-threaded asyncio loop: one blocking call
+inside an ``async def`` stalls every in-flight request, defeats the
+admission controller's queue-time sheds, and turns graceful drain into a
+hang.  CPU-bound engine work is deliberately pushed to an executor
+(``loop.run_in_executor``); this rule catches the synchronous calls that
+must never appear directly in a coroutine: ``time.sleep``, synchronous
+file/socket IO, and subprocess spawns.
+
+Only calls whose *innermost* enclosing function is ``async def`` are
+flagged.  A synchronous helper defined inside a coroutine is assumed to be
+executor-bound — flagging it would punish exactly the correct fix — and
+the engine/executor boundary is covered by the service smoke test instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.engine import Finding, ParsedModule, Rule, Severity, dotted_name
+
+__all__ = ["NoBlockingInAsyncRule"]
+
+#: Dotted call names that block the loop.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: Bare names that open synchronous file handles.
+BLOCKING_BARE_CALLS = frozenset({"open"})
+
+#: Method names that perform synchronous IO on common handle types.  Kept
+#: to the unambiguous pathlib readers/writers; bare ``.read()``/``.write()``
+#: would false-positive on asyncio streams and byte buffers.
+BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+class NoBlockingInAsyncRule(Rule):
+    """Flag synchronous blocking calls made directly inside ``async def``."""
+
+    rule_id: ClassVar[str] = "RPR003"
+    description: ClassVar[str] = (
+        "async def bodies under repro/service/ must not call time.sleep, "
+        "synchronous file/socket IO, or subprocess — blocking stalls every "
+        "in-flight request on the loop"
+    )
+    severity: ClassVar[str] = Severity.ERROR
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/service/" in path
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            blocked = self._blocking_name(node)
+            if blocked is None:
+                continue
+            function = module.enclosing_function(node)
+            if function is None or not isinstance(function, ast.AsyncFunctionDef):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"blocking call {blocked}() inside async def "
+                f"{function.name!r} — it stalls the service event loop; use "
+                "an executor or the asyncio equivalent",
+                symbol=f"call:{blocked}",
+            )
+
+    def _blocking_name(self, call: ast.Call) -> str | None:
+        name = dotted_name(call.func)
+        if name is not None:
+            if name in BLOCKING_CALLS:
+                return name
+            if name in BLOCKING_BARE_CALLS:
+                return name
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in BLOCKING_METHODS:
+                return call.func.attr
+        return None

@@ -1,0 +1,87 @@
+"""RPR001 — loops in hot-path modules must reach a ``checkpoint()`` call.
+
+The execution guardrails (budgets, cancellation, fault injection) are
+cooperative: a loop that never calls :func:`repro.runtime.checkpoint` is
+invisible to deadlines and cannot be cancelled or fault-injected.  Every
+module registered as a hot path — the join algorithms, pivoting, trimming,
+and the baselines they are compared against — therefore must thread a
+checkpoint through each loop nest.
+
+A loop is considered covered when a ``checkpoint(...)`` call (the module
+function, a re-export, or an explicit ``context.checkpoint(...)``) appears
+
+* inside the loop body itself, or
+* anywhere in the innermost enclosing function — the idiomatic pattern is
+  one checkpoint per outer iteration covering the bounded inner loops, and
+  a per-call checkpoint at the top of a helper covers its short scans.
+
+Comprehensions and generator expressions are not flagged: they cannot
+contain statements, so the contract point is the enclosing function's
+checkpoint.  Loops that are genuinely bounded (fixed-arity schema walks,
+O(log n) tree descents) carry an inline waiver or a baseline entry with the
+justification spelled out.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.engine import (
+    Finding,
+    ParsedModule,
+    Rule,
+    Severity,
+    is_checkpoint_call,
+)
+
+__all__ = ["CheckpointDisciplineRule"]
+
+#: Path fragments (posix) that mark a module as hot-path.
+HOT_PATH_PACKAGES = (
+    "repro/joins/",
+    "repro/pivot/",
+    "repro/trim/",
+    "repro/baselines/",
+)
+
+
+def _contains_checkpoint(node: ast.AST) -> bool:
+    return any(is_checkpoint_call(child) for child in ast.walk(node))
+
+
+class CheckpointDisciplineRule(Rule):
+    """Flag hot-path loops that can never observe budgets or cancellation."""
+
+    rule_id: ClassVar[str] = "RPR001"
+    description: ClassVar[str] = (
+        "loops in hot-path modules (joins/, pivot/, trim/, baselines/) must "
+        "reach a checkpoint() call or carry an explicit waiver"
+    )
+    severity: ClassVar[str] = Severity.ERROR
+
+    def applies_to(self, path: str) -> bool:
+        return any(fragment in path for fragment in HOT_PATH_PACKAGES)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            if _contains_checkpoint(node):
+                continue
+            function = module.enclosing_function(node)
+            if function is not None and _contains_checkpoint(function):
+                continue
+            kind = "while" if isinstance(node, ast.While) else "for"
+            scope = (
+                function.name if function is not None else "<module>"
+            )
+            yield self.finding(
+                module,
+                node,
+                f"{kind} loop in hot-path function {scope!r} never reaches "
+                "checkpoint(); it is invisible to budgets, cancellation, and "
+                "fault injection",
+                symbol=f"loop:{kind}",
+            )

@@ -1,0 +1,90 @@
+"""RPR004 — library code raises the typed ``ReproError`` taxonomy.
+
+The documented contract since PR 6 is "catch :class:`ReproError` to catch
+everything this library raises": the CLI maps the taxonomy to stable exit
+codes, the service maps it to HTTP statuses, and the engine's degradation
+ladder distinguishes budget trips from validation failures by type.  A bare
+``raise ValueError(...)`` anywhere under ``src/repro/`` silently escapes
+all three.  This rule flags raises of the untyped builtins; the fix is
+almost always :class:`~repro.exceptions.ValidationError` (which still *is*
+a ``ValueError`` for historical callers) or a new ``ReproError`` subclass.
+
+``exceptions.py`` itself is exempt (it defines the bridge classes), and
+re-raises (``raise`` with no exception) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.engine import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["TypedErrorsRule"]
+
+#: Builtin exception types library code must not raise directly.
+UNTYPED_BUILTINS = frozenset(
+    {"ValueError", "TypeError", "RuntimeError", "Exception", "NotImplementedError"}
+)
+
+#: ``NotImplementedError`` is allowed for abstract-method bodies — flagging
+#: those would fight the standard idiom — but only when the enclosing
+#: function consists solely of the raise (plus a docstring).
+ABSTRACT_ALLOWED = "NotImplementedError"
+
+
+class TypedErrorsRule(Rule):
+    """Flag raises of untyped builtin exceptions in library code."""
+
+    rule_id: ClassVar[str] = "RPR004"
+    description: ClassVar[str] = (
+        "src/repro/ raises the typed ReproError taxonomy, not bare "
+        "ValueError/TypeError/RuntimeError — untyped raises escape the "
+        "documented catch-ReproError contract and the CLI/service exit-code "
+        "mapping"
+    )
+    severity: ClassVar[str] = Severity.ERROR
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/" in path and not path.endswith("repro/exceptions.py")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._raised_name(node.exc)
+            if name is None or name not in UNTYPED_BUILTINS:
+                continue
+            if name == ABSTRACT_ALLOWED and self._is_abstract_body(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"raise {name} in library code — use the ReproError taxonomy "
+                "(ValidationError for caller-input checks) so `except "
+                "ReproError` and the CLI/service error mapping keep working",
+                symbol=f"raise:{name}",
+            )
+
+    def _raised_name(self, exc: ast.expr) -> str | None:
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            return exc.id
+        return None
+
+    def _is_abstract_body(self, module: ParsedModule, node: ast.Raise) -> bool:
+        function = module.enclosing_function(node)
+        if function is None:
+            return False
+        statements = [
+            stmt
+            for stmt in function.body
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            )
+        ]
+        return len(statements) == 1 and statements[0] is node

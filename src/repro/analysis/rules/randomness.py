@@ -1,0 +1,90 @@
+"""RPR005 — benchmark and workload randomness must be seeded.
+
+Every benchmark comparison and workload generator in this repository is
+reproducible by construction: generators take a ``seed`` and build a local
+``random.Random(seed)``.  A bare module-level ``random.random()`` (or a
+``from random import randint`` call) silently couples the run to global
+interpreter state — two benchmark runs stop being comparable, and a flaky
+workload cannot be replayed.  This rule flags module-global randomness in
+``benchmarks/`` and ``repro/workloads/``; the fix is to thread the seeded
+``Random`` instance through.
+
+Constructing instances (``random.Random(seed)``, ``random.SystemRandom()``)
+is the sanctioned pattern and never flagged; calls *on* such instances
+(``rng.random()``) are naturally invisible to the module-attribute check.
+``random.seed(...)`` is flagged too: seeding the global generator is still
+global state.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.engine import Finding, ParsedModule, Rule, Severity
+
+__all__ = ["SeededRandomnessRule"]
+
+#: Attributes of the ``random`` module that are safe to call: constructors
+#: of locally-seeded generator instances.
+ALLOWED_ATTRIBUTES = frozenset({"Random", "SystemRandom"})
+
+
+class SeededRandomnessRule(Rule):
+    """Flag unseeded module-global randomness in benchmarks and workloads."""
+
+    rule_id: ClassVar[str] = "RPR005"
+    description: ClassVar[str] = (
+        "benchmarks/ and workloads/ must draw randomness from a seeded "
+        "random.Random instance, never the module-global generator — "
+        "unseeded runs are unreproducible and benchmark numbers stop being "
+        "comparable"
+    )
+    severity: ClassVar[str] = Severity.ERROR
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("benchmarks/") or "repro/workloads/" in path
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        from_imports = self._random_from_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._global_random_call(node, from_imports)
+            if name is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"module-global {name}() draws from unseeded interpreter "
+                "state — construct random.Random(seed) and thread it through "
+                "so the run is reproducible",
+                symbol=f"call:{name}",
+            )
+
+    def _random_from_imports(self, tree: ast.Module) -> dict[str, str]:
+        """Local name -> random-module attribute for `from random import ...`."""
+        imported: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    imported[alias.asname or alias.name] = alias.name
+        return imported
+
+    def _global_random_call(
+        self, call: ast.Call, from_imports: dict[str, str]
+    ) -> str | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in ALLOWED_ATTRIBUTES
+        ):
+            return f"random.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in from_imports:
+            original = from_imports[func.id]
+            if original not in ALLOWED_ATTRIBUTES:
+                return f"random.{original}"
+        return None

@@ -35,7 +35,7 @@ from repro.exceptions import TrimmingError
 from repro.approx.sketch import epsilon_sketch
 from repro.query.atom import Atom
 from repro.query.join_query import JoinQuery
-from repro.query.join_tree import build_join_tree
+from repro.query.join_tree import RootedJoinTree, build_join_tree
 from repro.query.predicates import RankPredicate
 from repro.query.rewrite import ensure_canonical
 from repro.ranking.sum import SumRanking
@@ -150,7 +150,7 @@ class LossySumTrimmer(Trimmer):
         current_query: JoinQuery,
         node: int,
         child: int,
-        rooted,
+        rooted: RootedJoinTree,
         schema: dict[int, list[str]],
         rows: dict[int, list[tuple]],
         sigma_s: dict[int, list[float]],

@@ -16,6 +16,7 @@ from typing import Any
 
 from repro.data.database import Database
 from repro.exceptions import ValidationError
+from repro.joins.message_passing import MaterializedTree
 from repro.joins.sampling import AnswerSampler
 from repro.query.join_query import JoinQuery
 from repro.ranking.base import RankingFunction
@@ -54,7 +55,7 @@ def sampling_quantile(
     epsilon: float,
     delta: float = 0.05,
     seed: int | random.Random | None = None,
-    tree=None,
+    tree: MaterializedTree | None = None,
 ) -> SamplingQuantileResult:
     """Return a (φ ± ε)-quantile with probability at least ``1 − δ``.
 

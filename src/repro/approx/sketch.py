@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.exceptions import ValidationError
+
 
 @dataclass(frozen=True)
 class Bucket:
@@ -71,9 +73,9 @@ def epsilon_sketch(
     descending for "lower").
     """
     if epsilon < 0 or epsilon >= 1:
-        raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+        raise ValidationError(f"epsilon must be in [0, 1), got {epsilon}")
     if direction not in ("upper", "lower"):
-        raise ValueError(f"direction must be 'upper' or 'lower', got {direction!r}")
+        raise ValidationError(f"direction must be 'upper' or 'lower', got {direction!r}")
     live = [(index, value, mult) for index, (value, mult) in enumerate(items) if mult > 0]
     reverse = direction == "lower"
     live.sort(key=lambda item: item[1], reverse=reverse)

@@ -8,7 +8,8 @@ and return :class:`~repro.bench.harness.ExperimentResult` tables.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.baselines.materialize import answer_weights, materialize_quantile
 from repro.bench.harness import (
@@ -28,12 +29,23 @@ from repro.workloads.path import path_workload
 from repro.workloads.social import social_network_workload
 from repro.workloads.star import star_workload
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.result import QuantileResult
+    from repro.engine import PreparedQuery
+    from repro.service.client import ServiceResponse
+    from repro.workloads.generators import Workload
+
 #: Baselines above this many answers are skipped (the point of the paper is
 #: that materialization is infeasible; we do not need to prove it by waiting).
 BASELINE_ANSWER_LIMIT = 3_000_000
 
 
-def _compare_row(workload, phi, solver_kwargs=None, baseline=True):
+def _compare_row(
+    workload: Workload,
+    phi: float,
+    solver_kwargs: dict[str, Any] | None = None,
+    baseline: bool = True,
+) -> dict[str, Any]:
     """Run the solver and (optionally) the materialize baseline on a workload."""
     solver = QuantileSolver(
         workload.query, workload.db, workload.ranking, **(solver_kwargs or {})
@@ -67,9 +79,9 @@ def _scaling_experiment(
     experiment: str,
     title: str,
     claim: str,
-    workloads,
+    workloads: Iterable[Workload],
     phi: float,
-    solver_kwargs=None,
+    solver_kwargs: dict[str, Any] | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment=experiment,
@@ -111,7 +123,9 @@ def _scaling_experiment(
 # ---------------------------------------------------------------------- #
 # E1 / E2: MIN-MAX and LEX scaling (Theorem 5.3, Section 5.2)
 # ---------------------------------------------------------------------- #
-def run_e1(sizes: Sequence[int] = (100, 200, 400, 800, 1600), phi: float = 0.5, seed: int = 7):
+def run_e1(
+    sizes: Sequence[int] = (100, 200, 400, 800, 1600), phi: float = 0.5, seed: int = 7
+) -> ExperimentResult:
     """MAX quantiles on the 3-path query: quasilinear vs materialization."""
     workloads = [
         path_workload(
@@ -128,7 +142,9 @@ def run_e1(sizes: Sequence[int] = (100, 200, 400, 800, 1600), phi: float = 0.5, 
     )
 
 
-def run_e1_min(sizes: Sequence[int] = (100, 200, 400, 800), phi: float = 0.25, seed: int = 11):
+def run_e1_min(
+    sizes: Sequence[int] = (100, 200, 400, 800), phi: float = 0.25, seed: int = 11
+) -> ExperimentResult:
     """MIN quantiles on a 4-arm star query (many-children join tree)."""
     workloads = [
         star_workload(
@@ -146,7 +162,9 @@ def run_e1_min(sizes: Sequence[int] = (100, 200, 400, 800), phi: float = 0.25, s
     )
 
 
-def run_e2(sizes: Sequence[int] = (100, 200, 400, 800, 1600), phi: float = 0.75, seed: int = 13):
+def run_e2(
+    sizes: Sequence[int] = (100, 200, 400, 800, 1600), phi: float = 0.75, seed: int = 13
+) -> ExperimentResult:
     """LEX quantiles on the 3-path query."""
     workloads = [
         path_workload(
@@ -166,7 +184,9 @@ def run_e2(sizes: Sequence[int] = (100, 200, 400, 800, 1600), phi: float = 0.75,
 # ---------------------------------------------------------------------- #
 # E3 / E4: tractable SUM cases (Theorem 5.6 positive side)
 # ---------------------------------------------------------------------- #
-def run_e3(sizes: Sequence[int] = (100, 200, 400, 800), phi: float = 0.5, seed: int = 17):
+def run_e3(
+    sizes: Sequence[int] = (100, 200, 400, 800), phi: float = 0.5, seed: int = 17
+) -> ExperimentResult:
     """Partial SUM over {x1,x2,x3} on the 3-path query (tractable side)."""
     workloads = [
         path_workload(
@@ -188,7 +208,9 @@ def run_e3(sizes: Sequence[int] = (100, 200, 400, 800), phi: float = 0.5, seed: 
     )
 
 
-def run_e4(sizes: Sequence[int] = (200, 400, 800, 1600), phi: float = 0.5, seed: int = 19):
+def run_e4(
+    sizes: Sequence[int] = (200, 400, 800, 1600), phi: float = 0.5, seed: int = 19
+) -> ExperimentResult:
     """Full SUM on the binary (2-atom) join: the classic tractable case."""
     workloads = [
         path_workload(
@@ -557,18 +579,18 @@ def run_e12(
             seed=seed + n,
         )
 
-        def run_cold():
+        def run_cold() -> list[QuantileResult]:
             return [
                 one_shot_quantile(workload.query, workload.db, workload.ranking, phi)
                 for phi in phis
             ]
 
-        def run_prepared():
+        def run_prepared() -> tuple[PreparedQuery, list[QuantileResult]]:
             engine = Engine(workload.db)
             prepared = engine.prepare(workload.query, workload.ranking)
             return prepared, prepared.quantiles(phis)
 
-        def run_matched():
+        def run_matched() -> list[QuantileResult]:
             prepared = Engine(workload.db).prepare(
                 workload.query, workload.ranking, termination_factor=1
             )
@@ -610,7 +632,9 @@ def run_e12(
     return result
 
 
-def run_e13(sizes: Sequence[int] = (1500,), num_phis: int = 19, seed: int = 23):
+def run_e13(
+    sizes: Sequence[int] = (1500,), num_phis: int = 19, seed: int = 23
+) -> ExperimentResult:
     """E13 — physical-structure reuse: cold vs index-reuse quantile batches.
 
     PR 1 amortized *planning* (E12); this experiment measures the next layer:
@@ -667,7 +691,7 @@ def run_e13(sizes: Sequence[int] = (1500,), num_phis: int = 19, seed: int = 23):
         ]
         for name, workload in workloads:
 
-            def run_cold():
+            def run_cold() -> list[QuantileResult]:
                 return [
                     Engine(workload.db, memoize=False)
                     .prepare(workload.query, workload.ranking)
@@ -675,7 +699,7 @@ def run_e13(sizes: Sequence[int] = (1500,), num_phis: int = 19, seed: int = 23):
                     for phi in phis
                 ]
 
-            def run_warm():
+            def run_warm() -> tuple[PreparedQuery, list[QuantileResult]]:
                 prepared = Engine(workload.db).prepare(workload.query, workload.ranking)
                 return prepared, prepared.quantiles(phis)
 
@@ -747,7 +771,7 @@ def run_e14(
     total = len(weights)
     target = min(total - 1, int(phi * total))
 
-    def solve(**guards):
+    def solve(**guards: Any) -> tuple[QuantileResult, float]:
         prepared = Engine(workload.db).prepare(
             workload.query,
             workload.ranking,
@@ -780,7 +804,9 @@ def run_e14(
     )
     degradations: list[str] = []
 
-    def add_row(mode, res, elapsed, limit):
+    def add_row(
+        mode: str, res: QuantileResult, elapsed: float, limit: float | None
+    ) -> None:
         if res.degradation:
             degradations.append(f"{mode}: {res.degradation}")
         result.rows.append(
@@ -889,8 +915,8 @@ def run_e15(
     )
 
     # ---------------- Phase 1: throughput vs serialized one-shot -------- #
-    def run_serialized():
-        weights = []
+    def run_serialized() -> list[float]:
+        weights: list[float] = []
         for phi in phis:
             prepared = Engine(workload.db).prepare(query_spec, ranking_spec)
             weights.append(prepared.quantile(phi).weight)
@@ -904,10 +930,10 @@ def run_e15(
     service.pool.register("bench", workload.db)
     handle = ServiceThread(service).start()
     client = ServiceClient.from_url(handle.url)
-    responses: list = [None] * total_requests
+    responses: list[ServiceResponse | None] = [None] * total_requests
 
-    def run_clients():
-        def issue(worker):
+    def run_clients() -> None:
+        def issue(worker: int) -> None:
             for slot in range(requests_per_client):
                 position = worker * requests_per_client + slot
                 responses[position] = client.query(
@@ -969,9 +995,9 @@ def run_e15(
     service.pool.register("bench", overload_workload.db)
     handle = ServiceThread(service).start()
     client = ServiceClient.from_url(handle.url)
-    overload_responses: list = [None] * clients
+    overload_responses: list[ServiceResponse | None] = [None] * clients
 
-    def overload(worker):
+    def overload(worker: int) -> None:
         if worker % 2:
             overload_responses[worker] = client.query(
                 "bench", query_spec, overload_ranking, phis=[0.5],

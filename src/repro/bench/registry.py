@@ -43,6 +43,6 @@ def get_experiment(identifier: str) -> Callable[..., ExperimentResult]:
     )
 
 
-def run_experiment(identifier: str, **kwargs) -> ExperimentResult:
+def run_experiment(identifier: str, **kwargs: object) -> ExperimentResult:
     """Run one experiment by id with optional parameter overrides."""
     return get_experiment(identifier)(**kwargs)

@@ -12,11 +12,12 @@ import json
 import platform
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro.bench.harness import ExperimentResult
 
 
-def format_value(value) -> str:
+def format_value(value: object) -> str:
     """Render a cell value compactly."""
     if value is None:
         return "-"
@@ -58,7 +59,7 @@ def print_result(result: ExperimentResult) -> None:
 # ---------------------------------------------------------------------- #
 # Machine-readable reports
 # ---------------------------------------------------------------------- #
-def result_to_dict(result: ExperimentResult) -> dict:
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     """One experiment result as a JSON-serializable dictionary.
 
     Always carries ``budget`` and ``degradation`` keys (filled from

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import TYPE_CHECKING, Any
 
 from repro.engine import STRATEGIES, Engine
 from repro.data.io import load_database_csv
@@ -53,6 +54,10 @@ from repro.query.parser import parse_atom as _parse_atom_spec
 from repro.query.parser import parse_ranking
 from repro.query.parser import RANKING_KINDS, ranking_class
 from repro.ranking.base import RankingFunction
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.result import QuantileResult
+    from repro.engine import SolverPlan
 
 
 def parse_atom(text: str) -> Atom:
@@ -176,8 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _result_record(result, plan, phi: float | None) -> dict:
-    record = {
+def _result_record(
+    result: QuantileResult, plan: SolverPlan, phi: float | None
+) -> dict[str, Any]:
+    record: dict[str, Any] = {
         "strategy": result.strategy,
         "plan_reason": plan.reason,
         "exact": result.exact,
@@ -195,7 +202,7 @@ def _result_record(result, plan, phi: float | None) -> dict:
     return record
 
 
-def _print_record(record: dict) -> None:
+def _print_record(record: dict[str, Any]) -> None:
     for key, value in record.items():
         print(f"{key:16s}: {value}")
 

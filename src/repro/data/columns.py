@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
+from repro.exceptions import ValidationError
+
 Value = Any
 Row = tuple[Value, ...]
 
@@ -169,7 +171,7 @@ class ColumnStore:
     def with_column(self, values: list[Value]) -> "ColumnStore":
         """Store with one extra column appended (existing columns shared)."""
         if len(values) != self._length:
-            raise ValueError(
+            raise ValidationError(
                 f"new column has {len(values)} values but the store holds "
                 f"{self._length} rows"
             )

@@ -76,7 +76,7 @@ class IndexCatalog:
         self.hits = 0
         self.misses = 0
 
-    def _publish(self, table: dict, signature: Hashable, value: Any) -> Any:
+    def _publish(self, table: dict[Any, Any], signature: Hashable, value: Any) -> Any:
         """Install ``value`` under ``signature`` unless a concurrent builder won.
 
         Returns the structure every caller should use — the first one
@@ -154,7 +154,7 @@ class IndexCatalog:
     # ------------------------------------------------------------------ #
     # Sort orders
     # ------------------------------------------------------------------ #
-    def weight_values(self, tag: Hashable, key: Callable[[Row], Any]) -> list:
+    def weight_values(self, tag: Hashable, key: Callable[[Row], Any]) -> list[Any]:
         """``key(row)`` per row position, memoized under ``tag``.
 
         ``tag`` must uniquely identify the semantics of ``key`` for this

@@ -233,7 +233,7 @@ class PreparedQuery:
         self._rooted_tree: RootedJoinTree | None = None
         self._reduced_db: Database | None = None
         self._total: int | None = None
-        self._materialized: list | None = None
+        self._materialized: list[dict[str, Any]] | None = None
         # Per-strategy state: degradation may run several pivoting strategies
         # over this prepared query's lifetime, and exact and lossy trims must
         # never share interval-keyed caches (their trimmed sub-databases and
@@ -387,30 +387,36 @@ class PreparedQuery:
     # Cached state helpers
     # ------------------------------------------------------------------ #
     def _ensure_canonical(self) -> tuple[JoinQuery, Database]:
-        if self._canonical is None:
+        canonical = self._canonical
+        if canonical is None:
             with self._state_lock:
-                if self._canonical is None:
-                    self._canonical = ensure_canonical(self.query, self.db)
-        return self._canonical
+                canonical = self._canonical
+                if canonical is None:
+                    canonical = ensure_canonical(self.query, self.db)
+                    self._canonical = canonical
+        return canonical
 
     def _ensure_reduced(self) -> tuple[JoinQuery, Database]:
         """Canonical query over the fully semijoin-reduced database."""
         canonical_query, canonical_db = self._ensure_canonical()
-        if self._reduced_db is None:
+        reduced = self._reduced_db
+        if reduced is None:
             with self._state_lock:
-                if self._reduced_db is None:
+                reduced = self._reduced_db
+                if reduced is None:
                     tree = self._tree_cache.get(
                         canonical_query, canonical_db, rooted=self.join_tree()
                     )
-                    self._reduced_db = full_reduce(
-                        canonical_query, canonical_db, tree=tree
-                    )
-        return canonical_query, self._reduced_db
+                    reduced = full_reduce(canonical_query, canonical_db, tree=tree)
+                    self._reduced_db = reduced
+        return canonical_query, reduced
 
     def _ensure_total(self) -> int:
-        if self._total is None:
+        total = self._total
+        if total is None:
             with self._state_lock:
-                if self._total is None:
+                total = self._total
+                if total is None:
                     canonical_query, canonical_db = self._ensure_canonical()
                     db = (
                         self._reduced_db
@@ -420,18 +426,20 @@ class PreparedQuery:
                     tree = self._tree_cache.get(
                         canonical_query, db, rooted=self.join_tree()
                     )
-                    self._total = count_from_tree(tree)
-        return self._total
+                    total = count_from_tree(tree)
+                    self._total = total
+        return total
 
-    def _ensure_materialized(self) -> list:
+    def _ensure_materialized(self) -> list[dict[str, Any]]:
         """All answers sorted by weight (for the ``materialize`` strategy)."""
-        if self._materialized is None:
+        materialized = self._materialized
+        if materialized is None:
             with self._state_lock:
-                if self._materialized is None:
-                    self._materialized = sorted_answers(
-                        self.query, self.db, self.ranking
-                    )
-        return self._materialized
+                materialized = self._materialized
+                if materialized is None:
+                    materialized = sorted_answers(self.query, self.db, self.ranking)
+                    self._materialized = materialized
+        return materialized
 
     def _ensure_trimmer(self, strategy: str) -> Trimmer:
         """The trimmer for one pivoting strategy (cached per strategy).
@@ -751,7 +759,7 @@ class Engine:
         self.timeout = timeout
         self.max_rows = max_rows
         self.on_budget = on_budget
-        self._prepared: dict[tuple, PreparedQuery] = {}
+        self._prepared: dict[tuple[Any, ...], PreparedQuery] = {}
         # Guards the prepared-query memo so concurrent prepare() calls for
         # the same signature share one PreparedQuery (and its caches) instead
         # of racing to create two.
@@ -805,7 +813,7 @@ class Engine:
             max_rows = self.max_rows
         if on_budget is None:
             on_budget = self.on_budget
-        kwargs: dict = {}
+        kwargs: dict[str, Any] = {}
         if termination_factor is not None:
             kwargs["termination_factor"] = termination_factor
         key = self._signature(
@@ -857,7 +865,7 @@ class Engine:
         max_rows: int | None,
         on_budget: str,
         cancellation: CancellationToken | None,
-    ) -> tuple | None:
+    ) -> tuple[Any, ...] | None:
         """Memoization key for a prepared query, or None if not memoizable."""
         if not self.memoize or getattr(ranking, "_weights", None):
             return None

@@ -77,6 +77,17 @@ class ValidationError(ReproError, ValueError):
     """
 
 
+class ServiceLifecycleError(ReproError, RuntimeError):
+    """The always-on service failed to start or to stop cleanly.
+
+    Raised by :class:`~repro.service.server.ServiceThread` when the server
+    does not come up (or exit) within its timeout.  Derives from
+    :class:`RuntimeError` as well, so historical ``except RuntimeError``
+    supervisors keep working while the documented "catch
+    :class:`ReproError`" contract also covers service lifecycle failures.
+    """
+
+
 class BudgetExceededError(ReproError):
     """An execution exceeded one of its configured budgets.
 

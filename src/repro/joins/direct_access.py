@@ -11,6 +11,7 @@ uniform sampling.
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections.abc import Iterator
 from itertools import accumulate
 from typing import Any
 
@@ -19,6 +20,7 @@ from repro.exceptions import EmptyResultError
 from repro.joins.counting import subtree_counts
 from repro.joins.message_passing import MaterializedTree
 from repro.query.join_query import JoinQuery
+from repro.runtime import checkpoint
 
 Assignment = dict[str, Any]
 
@@ -54,6 +56,7 @@ class DirectAccess:
         for parent in self.tree.nodes_top_down():
             for child in self.tree.children(parent):
                 child_counts = self.counts[child]
+                checkpoint("direct_access.build", rows=len(child_counts))
                 for key, indices in self.tree.child_groups(parent, child).items():
                     live = [i for i in indices if child_counts[i] > 0]
                     prefix = list(accumulate((child_counts[i] for i in live), initial=0))
@@ -74,13 +77,15 @@ class DirectAccess:
         remainder = index - self._root_prefix[position]
         return self._expand(root, position, remainder)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Assignment]:
         for index in range(self._total):
+            checkpoint("direct_access.iter", rows=1)
             yield self[index]
 
     # ------------------------------------------------------------------ #
     def _expand(self, node: int, row_index: int, remainder: int) -> Assignment:
         """Decode ``remainder`` into one partial answer rooted at the row."""
+        checkpoint("direct_access.expand")
         row = self.tree.rows(node)[row_index]
         assignment = self.tree.assignment(node, row)
         children = self.tree.children(node)

@@ -158,6 +158,7 @@ def _materialize_atom(
             first_position[variable] = position
             distinct_vars.append(variable)
     rows: list[Row] = []
+    checkpoint("tree.atom_scan", rows=len(relation))
     if len(distinct_vars) == len(atom.variables):
         rows = list(relation.rows)
     else:
@@ -175,6 +176,7 @@ def merge_assignments(
 ) -> Assignment | None:
     """Union two assignments, returning ``None`` on any conflict."""
     merged = dict(base)
+    # repro-analysis: allow RPR001 -- bounded by query arity; callers checkpoint per answer
     for variable, value in extra.items():
         if variable in merged and merged[variable] != value:
             return None

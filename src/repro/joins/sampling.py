@@ -14,6 +14,7 @@ from typing import Any
 from repro.data.database import Database
 from repro.exceptions import EmptyResultError
 from repro.joins.direct_access import DirectAccess
+from repro.joins.message_passing import MaterializedTree
 from repro.query.join_query import JoinQuery
 from repro.runtime import checkpoint
 
@@ -45,7 +46,7 @@ class AnswerSampler:
         query: JoinQuery,
         db: Database,
         seed: int | random.Random | None = None,
-        tree=None,
+        tree: MaterializedTree | None = None,
     ) -> None:
         self.access = DirectAccess(query, db, tree=tree)
         if len(self.access) == 0:

@@ -39,6 +39,7 @@ import threading
 from collections import OrderedDict
 
 from repro.data.database import Database
+from repro.exceptions import ValidationError
 from repro.joins.message_passing import MaterializedTree
 from repro.query.join_query import JoinQuery
 from repro.query.join_tree import RootedJoinTree
@@ -78,7 +79,7 @@ class TreeCache:
 
     def __init__(self, limit: int = DEFAULT_TREE_CACHE_LIMIT) -> None:
         if limit < 1:
-            raise ValueError("TreeCache limit must be at least 1")
+            raise ValidationError("TreeCache limit must be at least 1")
         self.limit = limit
         # key -> (query, db, relations, fingerprint, tree).  The query/db
         # (the key's ids) and the fingerprinted relation objects are all kept

@@ -81,6 +81,7 @@ def full_reduce(
     reduced = Database()
     for node in tree.nodes_top_down():
         atom = query[node]
+        checkpoint("yannakakis.rebuild", rows=len(tree.rows(node)))
         rows = [row for index, row in enumerate(tree.rows(node)) if alive[node][index]]
         name = atom.relation
         if name in reduced:

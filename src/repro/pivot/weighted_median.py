@@ -12,6 +12,8 @@ median-of-medians constant-factor machinery.
 from __future__ import annotations
 
 import random
+
+from repro.exceptions import ValidationError
 from collections.abc import Callable, Sequence
 from typing import Any, TypeVar
 
@@ -56,12 +58,12 @@ def weighted_median(
     'c'
     """
     if len(items) != len(multiplicities):
-        raise ValueError("items and multiplicities must have the same length")
+        raise ValidationError("items and multiplicities must have the same length")
     pairs = [
         (item, mult) for item, mult in zip(items, multiplicities) if mult > 0
     ]
     if not pairs:
-        raise ValueError("weighted median of an empty (or zero-weight) multiset")
+        raise ValidationError("weighted median of an empty (or zero-weight) multiset")
     total = sum(mult for _, mult in pairs)
     target = (total - 1) // 2
     return _weighted_select(pairs, target, key)

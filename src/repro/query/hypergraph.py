@@ -7,7 +7,7 @@ chordless paths between weighted variables.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from itertools import combinations
 
 
@@ -139,7 +139,7 @@ class Hypergraph:
     # ------------------------------------------------------------------ #
     # Chordless paths
     # ------------------------------------------------------------------ #
-    def chordless_paths(self, source: str, target: str):
+    def chordless_paths(self, source: str, target: str) -> Iterator[list[str]]:
         """Yield all chordless paths from ``source`` to ``target``.
 
         A path is chordless if no two non-consecutive vertices co-occur in a
@@ -147,7 +147,7 @@ class Hypergraph:
         lists of vertices.
         """
 
-        def extend(path: list[str]):
+        def extend(path: list[str]) -> Iterator[list[str]]:
             last = path[-1]
             if last == target:
                 yield list(path)

@@ -176,7 +176,7 @@ class JoinQuery:
 
 
 def _merge_assignment(
-    assignment: Assignment, variables: Sequence[str], row: tuple
+    assignment: Assignment, variables: Sequence[str], row: tuple[Any, ...]
 ) -> Assignment | None:
     """Extend ``assignment`` with ``variables -> row`` values, or return None
     if the row contradicts the assignment (or repeats a variable inconsistently)."""

@@ -18,6 +18,7 @@ import re
 
 from repro.exceptions import QueryError, RankingError
 from repro.query.atom import Atom
+from repro.ranking.base import RankingFunction
 
 _ATOM_RE = re.compile(r"\s*(?P<name>\w+)\s*\(\s*(?P<vars>[^()]*?)\s*\)\s*")
 _RANKING_RE = re.compile(r"^\s*(?P<kind>\w+)\s*\(\s*(?P<vars>[^()]*?)\s*\)\s*$")
@@ -66,7 +67,7 @@ def parse_atom(text: str) -> Atom:
     return Atom(match.group("name"), _split_variables(match.group("vars"), f"atom {text!r}"))
 
 
-def parse_join_query(spec: str):
+def parse_join_query(spec: str) -> JoinQuery:
     """Parse ``"R(x1, x2), S(x2, x3)"`` into a ``JoinQuery``.
 
     Atoms are separated by commas at nesting level zero (commas inside the
@@ -108,7 +109,7 @@ def parse_join_query(spec: str):
     return JoinQuery(atoms)
 
 
-def ranking_class(kind: str):
+def ranking_class(kind: str) -> type[RankingFunction]:
     """The ranking class for an aggregate name (case-insensitive).
 
     Raises
@@ -129,7 +130,7 @@ def ranking_class(kind: str):
         ) from None
 
 
-def parse_ranking(spec: str):
+def parse_ranking(spec: str) -> RankingFunction:
     """Parse ``"sum(x1, x3)"`` into a ranking function.
 
     Accepted aggregate names (case-insensitive): ``sum``, ``min``, ``max``,

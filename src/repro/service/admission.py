@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import asyncio
 import time
+from typing import Any
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ValidationError
 
 
 class ShedRequestError(ReproError):
@@ -56,11 +57,11 @@ class AdmissionController:
         queue_timeout: float = 2.0,
     ) -> None:
         if max_inflight < 1:
-            raise ValueError("max_inflight must be at least 1")
+            raise ValidationError("max_inflight must be at least 1")
         if max_queue < 0:
-            raise ValueError("max_queue must be >= 0")
+            raise ValidationError("max_queue must be >= 0")
         if queue_timeout <= 0:
-            raise ValueError("queue_timeout must be positive")
+            raise ValidationError("queue_timeout must be positive")
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.queue_timeout = queue_timeout
@@ -163,7 +164,7 @@ class AdmissionController:
     def closed(self) -> bool:
         return self._closed.is_set()
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         return {
             "max_inflight": self.max_inflight,
             "max_queue": self.max_queue,

@@ -18,7 +18,7 @@ class ServiceResponse:
     """One HTTP exchange: status code, parsed JSON body, response headers."""
 
     status: int
-    payload: dict
+    payload: dict[str, Any]
     headers: dict[str, str]
 
     @property
@@ -57,7 +57,7 @@ class ServiceClient:
 
     # ------------------------------------------------------------------ #
     def request(
-        self, method: str, path: str, body: dict | None = None
+        self, method: str, path: str, body: dict[str, Any] | None = None
     ) -> ServiceResponse:
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
@@ -85,7 +85,7 @@ class ServiceClient:
     def ready(self) -> ServiceResponse:
         return self.request("GET", "/readyz")
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         return self.request("GET", "/stats").payload
 
     def databases(self) -> list[str]:

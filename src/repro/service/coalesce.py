@@ -66,7 +66,7 @@ class BatchOutcome:
 class _Batch:
     key: Hashable
     phis: dict[float, None] = field(default_factory=dict)  # ordered set
-    waiters: list[tuple[tuple[float, ...], asyncio.Future]] = field(default_factory=list)
+    waiters: list[tuple[tuple[float, ...], asyncio.Future[Any]]] = field(default_factory=list)
     closed: bool = False
 
     def join(self, phis: Sequence[float], future: asyncio.Future) -> None:
@@ -93,7 +93,7 @@ class Coalescer:
 
     def __init__(self) -> None:
         self._open: dict[Hashable, _Batch] = {}
-        self._running: dict[Hashable, asyncio.Future] = {}
+        self._running: dict[Hashable, asyncio.Future[Any]] = {}
         self.batches = 0
         self.requests = 0
         self.merged_requests = 0
@@ -199,7 +199,7 @@ class Coalescer:
             if not future.done():
                 future.set_exception(error)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         return {
             "batches": self.batches,
             "requests": self.requests,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Any
 
 from repro.data.database import Database
 from repro.engine import Engine, PreparedQuery
@@ -148,7 +149,7 @@ class EnginePool:
                 self.hits += 1
                 return cached
             self.misses += 1
-        kwargs: dict = {}
+        kwargs: dict[str, Any] = {}
         if timeout is not None:
             kwargs["timeout"] = timeout
         if max_rows is not None:
@@ -192,7 +193,7 @@ class EnginePool:
         with self._lock:
             return len(self._prepared)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Pool statistics for the stats endpoint."""
         with self._lock:
             estimated = self.estimated_bytes()

@@ -13,8 +13,11 @@ logs.
 from __future__ import annotations
 
 import threading
+
+from repro.exceptions import ValidationError
 from collections import Counter, deque
 from dataclasses import asdict, dataclass, field
+from typing import Any
 
 #: Terminal states a request record can report.
 REQUEST_STATUSES = ("ok", "degraded", "shed", "error", "cancelled")
@@ -62,7 +65,7 @@ class RequestRecord:
     db: str
     query: str
     ranking: str
-    phis: list = field(default_factory=list)
+    phis: list[float] = field(default_factory=list)
     status: str = "ok"
     http_status: int = 200
     queue_seconds: float = 0.0
@@ -70,12 +73,12 @@ class RequestRecord:
     total_seconds: float = 0.0
     coalesce_fan_in: int = 1
     degraded: bool = False
-    degradation_rungs: list = field(default_factory=list)
+    degradation_rungs: list[str] = field(default_factory=list)
     checkpoints: int = 0
     error: str | None = None
     retry_after: float | None = None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form (what ``GET /stats`` returns)."""
         return asdict(self)
 
@@ -90,7 +93,7 @@ class RecordLog:
 
     def __init__(self, limit: int = DEFAULT_RECORD_LIMIT) -> None:
         if limit < 1:
-            raise ValueError("RecordLog limit must be at least 1")
+            raise ValidationError("RecordLog limit must be at least 1")
         self._records: deque[RequestRecord] = deque(maxlen=limit)
         self._lock = threading.Lock()
         self._by_status: Counter[str] = Counter()
@@ -110,13 +113,13 @@ class RecordLog:
     def __len__(self) -> int:
         return self._total
 
-    def recent(self, limit: int = 50) -> list[dict]:
+    def recent(self, limit: int = 50) -> list[dict[str, Any]]:
         """The newest ``limit`` records, oldest first."""
         with self._lock:
             tail = list(self._records)[-limit:]
         return [record.to_dict() for record in tail]
 
-    def counters(self) -> dict:
+    def counters(self) -> dict[str, Any]:
         """Aggregate counters across the server's lifetime."""
         with self._lock:
             return {

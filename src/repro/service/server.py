@@ -46,6 +46,7 @@ from repro.exceptions import (
     DegradedResultWarning,
     ExecutionCancelledError,
     ReproError,
+    ServiceLifecycleError,
     ValidationError,
 )
 from repro.runtime import CancellationToken, ExecutionContext
@@ -108,7 +109,7 @@ class QuantileService:
         self._request_ids = itertools.count(1)
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._connections: set[asyncio.Task] = set()
+        self._connections: set[asyncio.Task[None]] = set()
         self._shutdown_requested = asyncio.Event()
         self._started_at: float | None = None
         self._draining = False
@@ -225,7 +226,7 @@ class QuantileService:
 
     async def _serve_one(
         self, reader: asyncio.StreamReader
-    ) -> tuple[int, dict, dict[str, str]]:
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         try:
             request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
         except asyncio.TimeoutError:
@@ -251,7 +252,7 @@ class QuantileService:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict[str, Any],
         headers: dict[str, str],
     ) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -274,7 +275,7 @@ class QuantileService:
     # ------------------------------------------------------------------ #
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict, dict[str, str]]:
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         path = path.split("?", 1)[0]
         if path == "/healthz":
             return 200, {"status": "ok"}, {}
@@ -299,7 +300,7 @@ class QuantileService:
             return await self._handle_query(body)
         return 404, {"error": f"unknown path {path!r}"}, {}
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         uptime = (
             time.monotonic() - self._started_at if self._started_at is not None else 0.0
         )
@@ -317,7 +318,7 @@ class QuantileService:
     # ------------------------------------------------------------------ #
     # The query path
     # ------------------------------------------------------------------ #
-    async def _handle_query(self, body: bytes) -> tuple[int, dict, dict[str, str]]:
+    async def _handle_query(self, body: bytes) -> tuple[int, dict[str, Any], dict[str, str]]:
         started = time.monotonic()
         request_id = next(self._request_ids)
         try:
@@ -364,7 +365,7 @@ class QuantileService:
 
     def _shed_response(
         self, shed: ShedRequestError, record: RequestRecord
-    ) -> tuple[int, dict, dict[str, str]]:
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         if shed.reason == "shutting down":
             record.status, record.error = "cancelled", str(shed)
             return 503, {"request_id": record.request_id, "error": str(shed)}, {}
@@ -386,8 +387,8 @@ class QuantileService:
         )
 
     async def _execute_query(
-        self, spec: dict, record: RequestRecord, started: float
-    ) -> tuple[int, dict, dict[str, str]]:
+        self, spec: dict[str, Any], record: RequestRecord, started: float
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         if self._draining:
             raise ShedRequestError("shutting down", None)
         db_name = spec.get("db")
@@ -434,7 +435,7 @@ class QuantileService:
             self.pool.fingerprint(db_name),
         )
 
-        async def runner(merged: tuple) -> tuple[dict, float, int]:
+        async def runner(merged: tuple[float, ...]) -> tuple[dict[str, Any], float, int]:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
                 self._executor,
@@ -456,7 +457,7 @@ class QuantileService:
         )
         return self._query_response(record, outcome, mode)
 
-    def _guard_knobs(self, spec: dict) -> dict:
+    def _guard_knobs(self, spec: dict[str, Any]) -> dict[str, Any]:
         """Validated solver/guardrail knobs a request may set."""
         knobs: dict[str, Any] = {}
         for name, caster in (
@@ -482,10 +483,10 @@ class QuantileService:
         db_name: str,
         query: str,
         ranking: str,
-        knobs: dict,
+        knobs: dict[str, Any],
         mode: str,
-        targets: tuple,
-    ) -> tuple[dict, float, int]:
+        targets: tuple[Any, ...],
+    ) -> tuple[dict[str, Any], float, int]:
         batch_started = time.perf_counter()
         prepared = self.pool.prepared(db_name, query, ranking, **knobs)
         outcomes: dict[Any, Any] = {}
@@ -510,7 +511,7 @@ class QuantileService:
 
     def _query_response(
         self, record: RequestRecord, outcome: BatchOutcome, mode: str
-    ) -> tuple[int, dict, dict[str, str]]:
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         results = []
         errors = 0
         cancelled = 0
@@ -621,9 +622,9 @@ class ServiceThread:
         self._thread = threading.Thread(target=self._main, name="repro-service", daemon=True)
         self._thread.start()
         if not self._ready.wait(timeout):
-            raise RuntimeError("service failed to start within the timeout")
+            raise ServiceLifecycleError("service failed to start within the timeout")
         if self.error is not None:
-            raise RuntimeError(f"service failed to start: {self.error}")
+            raise ServiceLifecycleError(f"service failed to start: {self.error}")
         return self
 
     def _main(self) -> None:
@@ -648,5 +649,5 @@ class ServiceThread:
         self.service.request_shutdown()
         self._thread.join(timeout)
         if self._thread.is_alive():  # pragma: no cover - drain hang
-            raise RuntimeError("service thread did not exit within the timeout")
+            raise ServiceLifecycleError("service thread did not exit within the timeout")
         return self.exit_code

@@ -32,7 +32,7 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ValidationError
 from repro.runtime.context import set_fault_hook
 
 
@@ -109,7 +109,7 @@ class FaultPlan:
             Exception instance to raise instead of :class:`InjectedFault`.
         """
         if after < 0:
-            raise ValueError(f"after must be >= 0, got {after!r}")
+            raise ValidationError(f"after must be >= 0, got {after!r}")
         self._armed[checkpoint] = (after, error)
         return self
 

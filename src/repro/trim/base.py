@@ -85,6 +85,7 @@ class Trimmer(abc.ABC):
         trims, exactly as Algorithm 1 does.
         """
         result = TrimResult(query, db, lossy=self.lossy)
+        # repro-analysis: allow RPR001 -- at most two predicates; trim() checkpoints per row block
         for predicate in interval.predicates():
             step = self.trim(result.query, result.database, predicate)
             result = result.merged_with(step)
@@ -102,6 +103,7 @@ def fresh_variable(query: JoinQuery, base: str) -> str:
     if base not in existing:
         return base
     counter = 1
+    # repro-analysis: allow RPR001 -- bounded by the query's variable count, no row work
     while f"{base}_{counter}" in existing:
         counter += 1
     return f"{base}_{counter}"

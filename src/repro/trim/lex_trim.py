@@ -12,7 +12,8 @@ factor (Section 5.2).
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.data.database import Database
 from repro.exceptions import TrimmingError
@@ -51,16 +52,17 @@ class LexTrimmer(Trimmer):
         strict = predicate.comparison.is_strict
         key = ranking.key_of
 
-        def equal_to(variable: str, component: float):
+        def equal_to(variable: str, component: float) -> Callable[[Any], bool]:
             return lambda value: key(variable, value) == component
 
-        def below(variable: str, component: float):
+        def below(variable: str, component: float) -> Callable[[Any], bool]:
             return lambda value: key(variable, value) < component
 
-        def above(variable: str, component: float):
+        def above(variable: str, component: float) -> Callable[[Any], bool]:
             return lambda value: key(variable, value) > component
 
         partitions = []
+        # repro-analysis: allow RPR001 -- bounded by ranking arity; row work checkpoints in union_partitions
         for index, variable in enumerate(variables):
             component = threshold[index]
             if math.isinf(component) and (

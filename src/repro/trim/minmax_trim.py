@@ -10,6 +10,9 @@ yields Theorem 5.3.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import Any
+
 from repro.data.database import Database
 from repro.exceptions import TrimmingError
 from repro.query.join_query import JoinQuery
@@ -62,7 +65,7 @@ class MinMaxTrimmer(Trimmer):
         threshold = predicate.threshold
         comparison = predicate.comparison
 
-        def make_condition(variable: str):
+        def make_condition(variable: str) -> Callable[[Any], bool]:
             weight = self.ranking.variable_weight
             return lambda value: comparison.holds(weight(variable, value), threshold)
 
@@ -98,6 +101,7 @@ class MinMaxTrimmer(Trimmer):
             witness = lambda var: (lambda v: weight(var, v) <= threshold)  # noqa: E731
             earlier = lambda var: (lambda v: weight(var, v) > threshold)  # noqa: E731
         partitions = []
+        # repro-analysis: allow RPR001 -- bounded by ranking arity; row work checkpoints in union_partitions
         for index, variable in enumerate(weighted):
             conditions = {prior: earlier(prior) for prior in weighted[:index]}
             conditions[variable] = witness(variable)

@@ -13,6 +13,8 @@ into a bijection between new and old query answers.
 
 from __future__ import annotations
 
+from repro.exceptions import ValidationError
+
 
 def tree_size(length: int) -> int:
     """Number of leaves of the perfect binary tree covering ``length`` positions."""
@@ -32,7 +34,7 @@ def ancestor_segments(length: int, position: int) -> list[int]:
     ``tree_size(length) + position``.
     """
     if not 0 <= position < length:
-        raise ValueError(f"position {position} out of range [0, {length})")
+        raise ValidationError(f"position {position} out of range [0, {length})")
     node = tree_size(length) + position
     out = []
     while node >= 1:
@@ -50,7 +52,7 @@ def range_segments(length: int, lo: int, hi: int) -> list[int]:
     at most one segment.
     """
     if lo < 0 or hi > length or lo > hi:
-        raise ValueError(f"invalid range [{lo}, {hi}) for length {length}")
+        raise ValidationError(f"invalid range [{lo}, {hi}) for length {length}")
     size = tree_size(length)
     out: list[int] = []
     left = lo + size

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
+from typing import Any
 
 from repro.data.columns import ColumnStore
 from repro.data.database import Database
@@ -177,10 +178,14 @@ class SumAdjacentTrimmer(Trimmer):
             tuple(join_vars),
         )
 
-        def group_weight(row: tuple) -> float:
+        def group_weight(row: tuple[Any, ...]) -> float:
             return row_weight(ranking, group_atom.variables, row, group_owned)
 
-        def build_group_side():
+        def build_group_side() -> tuple[
+            dict[tuple[Any, ...], tuple[list[float], list[tuple[Any, ...]]]],
+            dict[tuple[Any, ...], int],
+            list[tuple[Any, ...]],
+        ]:
             catalog = group_relation.indexes
             groups = catalog.hash_index(tuple(join_vars))
             # Same tag for values and order: weight_order derives from the

@@ -10,7 +10,11 @@ examples, tests, and benchmarks share one vocabulary.
 from __future__ import annotations
 
 import random
+
+from repro.exceptions import ValidationError
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -40,7 +44,7 @@ class Workload:
     db: Database
     ranking: RankingFunction
     description: str = ""
-    parameters: dict = field(default_factory=dict)
+    parameters: dict[str, Any] = field(default_factory=dict)
 
     @property
     def database_size(self) -> int:
@@ -56,7 +60,7 @@ def zipf_values(count: int, domain: int, skew: float, rng: random.Random) -> lis
     which materializing the join is most expensive.
     """
     if domain <= 0:
-        raise ValueError("domain must be positive")
+        raise ValidationError("domain must be positive")
     if skew <= 0:
         return [rng.randrange(domain) for _ in range(count)]
     weights = [1.0 / (rank + 1) ** skew for rank in range(domain)]
@@ -84,7 +88,7 @@ def random_acyclic_workload(
     num_atoms: int,
     tuples_per_relation: int,
     domain: int,
-    ranking_factory,
+    ranking_factory: Callable[[list[str]], RankingFunction],
     seed: int | None = None,
     extra_variables: int = 1,
 ) -> Workload:

@@ -1,0 +1,30 @@
+"""Shared helpers for the invariant-checker tests.
+
+Rule tests all follow the same shape: parse a source snippet under a path
+that makes the rule applicable, run exactly one rule, and assert on the
+findings.  ``run_rule`` packages that so each test reads as fixture + claim.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import Finding, ParsedModule, Rule
+
+
+def _run_rule(rule: Rule, path: str, source: str) -> list[Finding]:
+    module = ParsedModule.parse(path, textwrap.dedent(source))
+    findings = [
+        finding
+        for finding in rule.check(module)
+        if not module.waived(finding.rule_id, finding.line)
+    ]
+    return sorted(findings, key=lambda f: (f.line, f.column))
+
+
+@pytest.fixture
+def run_rule():
+    """Run one rule over a dedented source snippet, waivers applied."""
+    return _run_rule

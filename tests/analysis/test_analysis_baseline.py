@@ -1,0 +1,99 @@
+"""Baseline persistence, matching, and justification carry-over."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    TODO_JUSTIFICATION,
+    match_findings,
+)
+from repro.analysis.engine import Finding, Severity
+
+
+def finding(rule="RPR001", path="a.py", context="f", symbol="loop:for", line=1):
+    return Finding(rule, Severity.ERROR, path, line, 1, "msg", context, symbol)
+
+
+class TestPersistence:
+    def test_save_is_deterministic_and_sorted(self, tmp_path):
+        baseline = Baseline(
+            entries={
+                "z:key": BaselineEntry(count=1, justification="zz"),
+                "a:key": BaselineEntry(count=2, justification="aa"),
+            }
+        )
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        first = path.read_text()
+        baseline.save(path)
+        assert path.read_text() == first
+        data = json.loads(first)
+        assert list(data["entries"]) == ["a:key", "z:key"]
+        assert data["version"] == 1
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == {}
+
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline(entries={"k": BaselineEntry(count=3, justification="j")})
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries["k"].count == 3
+        assert loaded.entries["k"].justification == "j"
+
+
+class TestFromFindings:
+    def test_counts_per_key(self):
+        findings = [finding(line=1), finding(line=9), finding(symbol="loop:while")]
+        baseline = Baseline.from_findings(findings)
+        assert baseline.entries["RPR001:a.py:f:loop:for"].count == 2
+        assert baseline.entries["RPR001:a.py:f:loop:while"].count == 1
+
+    def test_new_keys_get_todo_placeholder(self):
+        baseline = Baseline.from_findings([finding()])
+        entry = next(iter(baseline.entries.values()))
+        assert entry.justification == TODO_JUSTIFICATION
+
+    def test_previous_justifications_carry_over(self):
+        previous = Baseline.from_findings([finding()])
+        key = next(iter(previous.entries))
+        previous.entries[key].justification = "reviewed: bounded loop"
+        regenerated = Baseline.from_findings(
+            [finding(), finding(symbol="loop:while")], previous=previous
+        )
+        assert regenerated.entries[key].justification == "reviewed: bounded loop"
+        other = regenerated.entries["RPR001:a.py:f:loop:while"]
+        assert other.justification == TODO_JUSTIFICATION
+
+
+class TestMatching:
+    def test_findings_within_allowance_are_baselined(self):
+        baseline = Baseline.from_findings([finding(line=1), finding(line=2)])
+        match = match_findings([finding(line=5), finding(line=6)], baseline)
+        assert match.new == []
+        assert len(match.baselined) == 2
+        assert match.stale_keys == []
+
+    def test_findings_beyond_allowance_are_new(self):
+        baseline = Baseline.from_findings([finding()])
+        match = match_findings([finding(line=1), finding(line=2)], baseline)
+        assert len(match.baselined) == 1
+        assert len(match.new) == 1
+
+    def test_unknown_key_is_new(self):
+        match = match_findings([finding()], Baseline())
+        assert len(match.new) == 1
+
+    def test_fixed_code_surfaces_stale_keys(self):
+        baseline = Baseline.from_findings([finding(), finding(symbol="loop:while")])
+        match = match_findings([finding()], baseline)
+        assert match.stale_keys == ["RPR001:a.py:f:loop:while"]
+
+    def test_line_moves_do_not_invalidate_baseline(self):
+        baseline = Baseline.from_findings([finding(line=10)])
+        match = match_findings([finding(line=999)], baseline)
+        assert match.new == []

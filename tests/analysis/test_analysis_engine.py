@@ -1,0 +1,181 @@
+"""The AST engine: parsing helpers, waivers, finding identity, dispatch."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.engine import (
+    Analyzer,
+    Finding,
+    ParsedModule,
+    Rule,
+    Severity,
+    dotted_name,
+    is_checkpoint_call,
+    iter_python_files,
+)
+
+
+def parse(source: str, path: str = "src/repro/example.py") -> ParsedModule:
+    return ParsedModule.parse(path, textwrap.dedent(source))
+
+
+class TestParsedModule:
+    def test_scope_names_are_dotted_qualnames(self):
+        module = parse(
+            """
+            class Outer:
+                def method(self):
+                    x = 1
+
+            def top():
+                y = 2
+            """
+        )
+        assigns = [n for n in ast.walk(module.tree) if isinstance(n, ast.Assign)]
+        scopes = sorted(module.scope_name(a) for a in assigns)
+        assert scopes == ["Outer.method", "top"]
+
+    def test_module_level_scope_is_module(self):
+        module = parse("x = 1\n")
+        assign = next(n for n in ast.walk(module.tree) if isinstance(n, ast.Assign))
+        assert module.scope_name(assign) == "<module>"
+
+    def test_enclosing_function_finds_innermost(self):
+        module = parse(
+            """
+            def outer():
+                def inner():
+                    x = 1
+            """
+        )
+        assign = next(n for n in ast.walk(module.tree) if isinstance(n, ast.Assign))
+        function = module.enclosing_function(assign)
+        assert function is not None and function.name == "inner"
+
+    def test_ancestors_walk_to_module(self):
+        module = parse(
+            """
+            def f():
+                for i in range(3):
+                    x = i
+            """
+        )
+        assign = next(n for n in ast.walk(module.tree) if isinstance(n, ast.Assign))
+        chain = list(module.ancestors(assign))
+        assert isinstance(chain[0], ast.For)
+        assert isinstance(chain[-1], ast.Module)
+
+
+class TestWaivers:
+    def test_waiver_on_same_line(self):
+        module = parse("x = 1  # repro-analysis: allow RPR001 -- bounded\n")
+        assert module.waived("RPR001", 1)
+
+    def test_waiver_on_previous_line(self):
+        module = parse(
+            "# repro-analysis: allow RPR002 -- publish is single-threaded here\n"
+            "x = 1\n"
+        )
+        assert module.waived("RPR002", 2)
+
+    def test_waiver_requires_reason(self):
+        module = parse("x = 1  # repro-analysis: allow RPR001\n")
+        assert not module.waived("RPR001", 1)
+        module = parse("x = 1  # repro-analysis: allow RPR001 --\n")
+        assert not module.waived("RPR001", 1)
+
+    def test_waiver_covers_only_named_rules(self):
+        module = parse("x = 1  # repro-analysis: allow RPR001, RPR004 -- both\n")
+        assert module.waived("RPR001", 1)
+        assert module.waived("RPR004", 1)
+        assert not module.waived("RPR002", 1)
+
+    def test_waiver_does_not_leak_to_other_lines(self):
+        module = parse(
+            "x = 1  # repro-analysis: allow RPR001 -- here only\n"
+            "y = 2\n"
+            "z = 3\n"
+        )
+        assert not module.waived("RPR001", 3)
+
+
+class TestFinding:
+    def test_key_excludes_line_number(self):
+        a = Finding("RPR001", Severity.ERROR, "a.py", 10, 1, "m", "f", "loop:for")
+        b = Finding("RPR001", Severity.ERROR, "a.py", 99, 5, "m", "f", "loop:for")
+        assert a.key == b.key == "RPR001:a.py:f:loop:for"
+
+    def test_to_dict_is_json_ready(self):
+        finding = Finding("RPR004", Severity.ERROR, "a.py", 3, 2, "msg", "g", "raise:X")
+        data = finding.to_dict()
+        assert data["rule"] == "RPR004"
+        assert data["line"] == 3
+        assert data["key"] == finding.key
+
+    def test_render_is_path_line_col_prefixed(self):
+        finding = Finding("RPR001", Severity.ERROR, "a.py", 3, 2, "msg")
+        assert finding.render().startswith("a.py:3:2: RPR001")
+
+
+class TestHelpers:
+    def test_dotted_name(self):
+        call = ast.parse("a.b.c()").body[0].value
+        assert dotted_name(call.func) == "a.b.c"
+        call = ast.parse("f()").body[0].value
+        assert dotted_name(call.func) == "f"
+        call = ast.parse("x[0]()").body[0].value
+        assert dotted_name(call.func) is None
+
+    def test_is_checkpoint_call_matches_name_and_attribute(self):
+        assert is_checkpoint_call(ast.parse("checkpoint('x')").body[0].value)
+        assert is_checkpoint_call(ast.parse("ctx.checkpoint('x')").body[0].value)
+        assert not is_checkpoint_call(ast.parse("other('x')").body[0].value)
+
+
+class _AlwaysFire(Rule):
+    rule_id = "RPR001"
+    severity = Severity.ERROR
+    description = "test rule"
+
+    def applies_to(self, path):
+        return path.endswith(".py")
+
+    def check(self, module):
+        yield self.finding(module, module.tree.body[0], "fired", symbol="x")
+
+
+class TestAnalyzer:
+    def test_run_collects_and_sorts_findings(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        analyzer = Analyzer([_AlwaysFire()], root=tmp_path)
+        result = analyzer.run([tmp_path])
+        assert result.files_checked == 2
+        assert [f.path for f in result.findings] == ["a.py", "b.py"]
+
+    def test_waived_findings_are_split_out(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "x = 1  # repro-analysis: allow RPR001 -- test waiver\n"
+        )
+        analyzer = Analyzer([_AlwaysFire()], root=tmp_path)
+        result = analyzer.run([tmp_path])
+        assert result.findings == []
+        assert len(result.waived) == 1
+
+    def test_syntax_error_becomes_rpr000(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def f(:\n")
+        analyzer = Analyzer([_AlwaysFire()], root=tmp_path)
+        result = analyzer.run([tmp_path])
+        assert [f.rule_id for f in result.parse_errors] == ["RPR000"]
+        assert result.all_findings[0].symbol == "syntax-error"
+
+    def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "x.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "y.py").write_text("y = 1\n")
+        (tmp_path / "ok.py").write_text("z = 1\n")
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["ok.py"]

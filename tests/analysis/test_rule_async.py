@@ -1,0 +1,93 @@
+"""RPR003 — no blocking calls on the service event loop."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.async_blocking import NoBlockingInAsyncRule
+
+PATH = "src/repro/service/server.py"
+
+
+def test_applies_only_under_service():
+    rule = NoBlockingInAsyncRule()
+    assert rule.applies_to("src/repro/service/server.py")
+    assert not rule.applies_to("src/repro/engine.py")
+    assert not rule.applies_to("src/repro/joins/yannakakis.py")
+
+
+def test_time_sleep_in_async_def_flagged(run_rule):
+    findings = run_rule(
+        NoBlockingInAsyncRule(),
+        PATH,
+        """
+        import time
+
+        async def handler():
+            time.sleep(1)
+        """,
+    )
+    assert [f.symbol for f in findings] == ["call:time.sleep"]
+
+
+def test_asyncio_sleep_passes(run_rule):
+    findings = run_rule(
+        NoBlockingInAsyncRule(),
+        PATH,
+        """
+        import asyncio
+
+        async def handler():
+            await asyncio.sleep(1)
+        """,
+    )
+    assert findings == []
+
+
+def test_sync_helper_inside_coroutine_not_flagged(run_rule):
+    # The helper is assumed executor-bound: flagging it would punish the fix.
+    findings = run_rule(
+        NoBlockingInAsyncRule(),
+        PATH,
+        """
+        import time
+
+        async def handler(loop):
+            def work():
+                time.sleep(1)
+            await loop.run_in_executor(None, work)
+        """,
+    )
+    assert findings == []
+
+
+def test_sleep_in_plain_def_not_flagged(run_rule):
+    findings = run_rule(
+        NoBlockingInAsyncRule(),
+        PATH,
+        """
+        import time
+
+        def worker():
+            time.sleep(1)
+        """,
+    )
+    assert findings == []
+
+
+def test_open_and_subprocess_and_pathlib_io_flagged(run_rule):
+    findings = run_rule(
+        NoBlockingInAsyncRule(),
+        PATH,
+        """
+        import subprocess
+
+        async def handler(path):
+            subprocess.run(["ls"])
+            data = open("f").read()
+            text = path.read_text()
+        """,
+    )
+    assert sorted(f.symbol for f in findings) == [
+        "call:open",
+        "call:read_text",
+        "call:subprocess.run",
+    ]

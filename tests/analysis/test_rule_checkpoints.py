@@ -1,0 +1,128 @@
+"""RPR001 — checkpoint discipline in hot-path loops."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.checkpoints import CheckpointDisciplineRule
+
+PATH = "src/repro/joins/example.py"
+
+
+def test_applies_only_to_hot_path_packages():
+    rule = CheckpointDisciplineRule()
+    assert rule.applies_to("src/repro/joins/yannakakis.py")
+    assert rule.applies_to("src/repro/pivot/pivot_selection.py")
+    assert rule.applies_to("src/repro/trim/base.py")
+    assert rule.applies_to("src/repro/baselines/materialize.py")
+    assert not rule.applies_to("src/repro/service/server.py")
+    assert not rule.applies_to("tests/joins/test_yannakakis.py".replace("tests", "x"))
+
+
+def test_loop_without_checkpoint_is_flagged(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        def scan(rows):
+            total = 0
+            for row in rows:
+                total += 1
+            return total
+        """,
+    )
+    assert [f.symbol for f in findings] == ["loop:for"]
+    assert findings[0].context == "scan"
+
+
+def test_checkpoint_in_loop_body_covers(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        from repro.runtime import checkpoint
+
+        def scan(rows):
+            for row in rows:
+                checkpoint("scan", rows=1)
+        """,
+    )
+    assert findings == []
+
+
+def test_checkpoint_anywhere_in_function_covers_inner_loops(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        def scan(groups):
+            checkpoint("scan", rows=len(groups))
+            for group in groups:
+                for row in group:
+                    pass
+        """,
+    )
+    assert findings == []
+
+
+def test_method_style_checkpoint_counts(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        def scan(ctx, rows):
+            for row in rows:
+                ctx.checkpoint("scan")
+        """,
+    )
+    assert findings == []
+
+
+def test_while_loop_flagged_with_while_symbol(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        def climb(n):
+            while n > 1:
+                n //= 2
+        """,
+    )
+    assert [f.symbol for f in findings] == ["loop:while"]
+
+
+def test_module_level_loop_flagged(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        for i in range(3):
+            print(i)
+        """,
+    )
+    assert len(findings) == 1
+    assert findings[0].context == "<module>"
+
+
+def test_comprehensions_not_flagged(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        def build(rows):
+            return [row for row in rows if row]
+        """,
+    )
+    assert findings == []
+
+
+def test_inline_waiver_silences(run_rule):
+    findings = run_rule(
+        CheckpointDisciplineRule(),
+        PATH,
+        """
+        def climb(n):
+            # repro-analysis: allow RPR001 -- O(log n) doubling, no row work
+            while n > 1:
+                n //= 2
+        """,
+    )
+    assert findings == []

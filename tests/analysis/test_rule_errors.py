@@ -1,0 +1,101 @@
+"""RPR004 — typed-error taxonomy in library code."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.errors import TypedErrorsRule
+
+PATH = "src/repro/data/columns.py"
+
+
+def test_bare_value_error_flagged(run_rule):
+    findings = run_rule(
+        TypedErrorsRule(),
+        PATH,
+        """
+        def check(n):
+            if n < 0:
+                raise ValueError("negative")
+        """,
+    )
+    assert [f.symbol for f in findings] == ["raise:ValueError"]
+
+
+def test_typed_error_passes(run_rule):
+    findings = run_rule(
+        TypedErrorsRule(),
+        PATH,
+        """
+        from repro.exceptions import ValidationError
+
+        def check(n):
+            if n < 0:
+                raise ValidationError("negative")
+        """,
+    )
+    assert findings == []
+
+
+def test_reraise_not_flagged(run_rule):
+    findings = run_rule(
+        TypedErrorsRule(),
+        PATH,
+        """
+        def passthrough():
+            try:
+                work()
+            except Exception:
+                raise
+        """,
+    )
+    assert findings == []
+
+
+def test_abstract_not_implemented_allowed(run_rule):
+    findings = run_rule(
+        TypedErrorsRule(),
+        PATH,
+        """
+        class Base:
+            def check(self, module):
+                '''Docstring.'''
+                raise NotImplementedError
+        """,
+    )
+    assert findings == []
+
+
+def test_not_implemented_in_real_body_flagged(run_rule):
+    findings = run_rule(
+        TypedErrorsRule(),
+        PATH,
+        """
+        def partial(mode):
+            if mode == "fast":
+                return 1
+            raise NotImplementedError("slow path missing")
+        """,
+    )
+    assert [f.symbol for f in findings] == ["raise:NotImplementedError"]
+
+
+def test_exceptions_module_is_exempt():
+    rule = TypedErrorsRule()
+    assert not rule.applies_to("src/repro/exceptions.py")
+    assert rule.applies_to("src/repro/engine.py")
+
+
+def test_runtime_and_type_errors_flagged(run_rule):
+    findings = run_rule(
+        TypedErrorsRule(),
+        PATH,
+        """
+        def f(x):
+            if x is None:
+                raise TypeError("no")
+            raise RuntimeError("boom")
+        """,
+    )
+    assert sorted(f.symbol for f in findings) == [
+        "raise:RuntimeError",
+        "raise:TypeError",
+    ]

@@ -1,0 +1,161 @@
+"""RPR002 — publish-under-lock for the shared caches."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.locks import LockPublishRule
+
+PATH = "src/repro/joins/tree_cache.py"
+
+
+def test_unguarded_subscript_assignment_flagged(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def put(self, key, value):
+                self._entries[key] = value
+        """,
+    )
+    assert [f.symbol for f in findings] == ["attr:_entries"]
+    assert findings[0].context == "TreeCache.put"
+
+
+def test_mutation_under_lock_passes(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def put(self, key, value):
+                with self._lock:
+                    self._entries[key] = value
+        """,
+    )
+    assert findings == []
+
+
+def test_rebinding_whole_dict_flagged(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def reset(self):
+                self._entries = {}
+        """,
+    )
+    assert [f.symbol for f in findings] == ["attr:_entries"]
+
+
+def test_mutator_method_flagged(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def reset(self):
+                self._entries.clear()
+        """,
+    )
+    assert [f.symbol for f in findings] == ["attr:_entries"]
+
+
+def test_alias_cannot_launder_mutation(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def sneaky(self, key, value):
+                entries = self._entries
+                entries[key] = value
+        """,
+    )
+    assert [f.symbol for f in findings] == ["attr:_entries"]
+
+
+def test_alias_mutation_under_lock_passes(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def put(self, key, value):
+                entries = self._entries
+                with self._lock:
+                    entries[key] = value
+        """,
+    )
+    assert findings == []
+
+
+def test_init_is_exempt(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def __init__(self):
+                self._entries = {}
+        """,
+    )
+    assert findings == []
+
+
+def test_unguarded_class_is_ignored(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class SomethingElse:
+            def put(self, key, value):
+                self._entries[key] = value
+        """,
+    )
+    assert findings == []
+
+
+def test_unguarded_attribute_is_ignored(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def note(self, key):
+                self._stats[key] = 1
+        """,
+    )
+    assert findings == []
+
+
+def test_index_catalog_attributes_guarded(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        "src/repro/data/indexes.py",
+        """
+        class IndexCatalog:
+            def install(self, sig, index):
+                self._hash_indexes[sig] = index
+                self._key_sets[sig] = set()
+                self._orders[sig] = []
+        """,
+    )
+    assert sorted(f.symbol for f in findings) == [
+        "attr:_hash_indexes",
+        "attr:_key_sets",
+        "attr:_orders",
+    ]
+
+
+def test_delete_outside_lock_flagged(run_rule):
+    findings = run_rule(
+        LockPublishRule(),
+        PATH,
+        """
+        class TreeCache:
+            def evict(self, key):
+                del self._entries[key]
+        """,
+    )
+    assert [f.symbol for f in findings] == ["attr:_entries"]

@@ -1,0 +1,85 @@
+"""RPR005 — seeded randomness in benchmarks and workloads."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.randomness import SeededRandomnessRule
+
+PATH = "benchmarks/bench_example.py"
+
+
+def test_applies_to_benchmarks_and_workloads():
+    rule = SeededRandomnessRule()
+    assert rule.applies_to("benchmarks/bench_e13_quantiles.py")
+    assert rule.applies_to("src/repro/workloads/generators.py")
+    assert not rule.applies_to("src/repro/engine.py")
+
+
+def test_module_global_call_flagged(run_rule):
+    findings = run_rule(
+        SeededRandomnessRule(),
+        PATH,
+        """
+        import random
+
+        def gen():
+            return random.randint(0, 10)
+        """,
+    )
+    assert [f.symbol for f in findings] == ["call:random.randint"]
+
+
+def test_seeded_instance_passes(run_rule):
+    findings = run_rule(
+        SeededRandomnessRule(),
+        PATH,
+        """
+        import random
+
+        def gen(seed):
+            rng = random.Random(seed)
+            return rng.randint(0, 10)
+        """,
+    )
+    assert findings == []
+
+
+def test_global_seed_call_flagged(run_rule):
+    findings = run_rule(
+        SeededRandomnessRule(),
+        PATH,
+        """
+        import random
+
+        def setup():
+            random.seed(42)
+        """,
+    )
+    assert [f.symbol for f in findings] == ["call:random.seed"]
+
+
+def test_from_import_alias_flagged(run_rule):
+    findings = run_rule(
+        SeededRandomnessRule(),
+        PATH,
+        """
+        from random import randint as ri
+
+        def gen():
+            return ri(0, 10)
+        """,
+    )
+    assert [f.symbol for f in findings] == ["call:random.randint"]
+
+
+def test_from_import_random_class_passes(run_rule):
+    findings = run_rule(
+        SeededRandomnessRule(),
+        PATH,
+        """
+        from random import Random
+
+        def gen(seed):
+            return Random(seed).random()
+        """,
+    )
+    assert findings == []

@@ -1,0 +1,62 @@
+"""Self-check: the shipped tree passes its own invariant checker.
+
+This is the test-suite mirror of the CI ``analysis`` job: running the full
+rule set over ``src/repro`` and ``benchmarks`` with the committed baseline
+must produce zero new findings.  It fails locally before CI does when a
+change breaks a contract, and it keeps the committed baseline honest (a
+stale entry shows up here as soon as the underlying code is fixed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import TODO_JUSTIFICATION, Baseline, match_findings
+from repro.analysis.engine import Analyzer
+from repro.analysis.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def repo_match():
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    analyzer = Analyzer(default_rules(), root=REPO_ROOT)
+    result = analyzer.run([REPO_ROOT / "src" / "repro", REPO_ROOT / "benchmarks"])
+    return result, match_findings(result.all_findings, baseline)
+
+
+def test_no_new_findings(repo_match):
+    _, match = repo_match
+    rendered = "\n".join(f.render() for f in match.new)
+    assert match.new == [], f"new invariant violations:\n{rendered}"
+
+
+def test_no_stale_baseline_entries(repo_match):
+    _, match = repo_match
+    assert match.stale_keys == [], (
+        "baseline entries cover findings that no longer exist; "
+        "run `python -m repro.analysis --update-baseline`"
+    )
+
+
+def test_every_baseline_entry_is_justified(repo_match):
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    unjustified = [
+        key
+        for key, entry in baseline.entries.items()
+        if entry.justification.strip() in ("", TODO_JUSTIFICATION)
+    ]
+    assert unjustified == [], (
+        "baseline entries must carry a real justification, not the "
+        f"placeholder: {unjustified}"
+    )
+
+
+def test_checked_tree_is_nontrivial(repo_match):
+    result, _ = repo_match
+    # Guard against the self-check silently analyzing an empty tree (e.g.
+    # after a path rename): the repo has dozens of applicable files.
+    assert result.files_checked >= 50

@@ -272,21 +272,35 @@ class TestShedding:
         handle = ServiceThread(svc).start()
         try:
             client = ServiceClient.from_url(handle.url)
-            responses = [None] * 8
 
-            def issue(position):
-                # Distinct seeds defeat coalescing so every request needs its
-                # own slot — with one slot and no queue, most must shed.
-                responses[position] = client.query(
-                    "demo", QUERY, RANKING, phis=[0.5], seed=position
-                )
+            # With one slot and no queue, overlapping requests must shed —
+            # but on a warm engine 8 staggered threads can serialize and all
+            # answer 200.  A barrier makes the burst simultaneous, and the
+            # race retries a few times so a lucky serialization cannot flake
+            # the run.
+            statuses = []
+            for attempt in range(5):
+                responses = [None] * 8
+                barrier = threading.Barrier(8)
 
-            threads = [threading.Thread(target=issue, args=(i,)) for i in range(8)]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            statuses = sorted(r.status for r in responses)
+                def issue(position):
+                    # Distinct seeds defeat coalescing so every request needs
+                    # its own slot.
+                    barrier.wait()
+                    responses[position] = client.query(
+                        "demo", QUERY, RANKING, phis=[0.5], seed=position + attempt * 8
+                    )
+
+                threads = [
+                    threading.Thread(target=issue, args=(i,)) for i in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                statuses = sorted(r.status for r in responses)
+                if 429 in statuses:
+                    break
             assert 429 in statuses
             assert 200 in statuses  # overload never blanks the service out
             for response in responses:
