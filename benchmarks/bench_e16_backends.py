@@ -1,0 +1,82 @@
+"""E16 — kernel backend comparison: pure-Python vs NumPy kernels.
+
+Benchmarks the fixed kernel op set of :mod:`repro.kernels` on columns
+derived from the E13 path workload (the counting pass's dense group ids and
+the SUM weight values, tiled to kernel-bench length) under both backends,
+plus the end-to-end cold quantile batch under each backend.  The headline
+acceptance bar is the aggregation kernel — ``sum_by_group``, the op the
+counting and semijoin-reduction passes reduce to — at >= 5x under NumPy;
+the whole-op table and the end-to-end comparison are reported alongside.
+
+The measured table is also written as machine-readable ``BENCH_e16.json``
+(shared helper in :mod:`repro.bench.reporting`), which CI uploads as a
+workflow artifact to track the performance trajectory across PRs.
+
+The whole module is skipped when NumPy is not importable: without it both
+"backends" would be the stdlib one and the comparison is vacuous.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.bench.experiments import run_e16  # noqa: E402
+from repro.bench.reporting import write_json_report  # noqa: E402
+from repro.kernels import create_backend  # noqa: E402
+
+N = 800
+NUM_PHIS = 9
+
+
+@pytest.fixture(scope="module")
+def e16_result():
+    return run_e16(sizes=(N,), num_phis=NUM_PHIS)
+
+
+def test_backends_available():
+    assert create_backend("python").name == "python"
+    assert create_backend("numpy").name == "numpy"
+
+
+def test_aggregation_kernel_speedup_and_json_report(e16_result):
+    """The aggregation kernel must be >= 5x faster under NumPy; the full
+    table is emitted as BENCH_e16.json in the current working directory
+    (CI runs from the repo root and uploads it as an artifact)."""
+    target = write_json_report(e16_result)
+
+    assert target.name == "BENCH_e16.json"
+    headline = [
+        row for row in e16_result.rows if row["op"] == "sum_by_group"
+    ]
+    assert headline, "E16 produced no sum_by_group rows"
+    for row in headline:
+        assert row["speedup"] is not None, "NumPy leg did not run"
+        assert row["speedup"] >= 5, (
+            f"sum_by_group is only {row['speedup']}x faster under NumPy "
+            f"({row['rows']} rows); acceptance needs 5x"
+        )
+
+
+def test_backends_agree_end_to_end(e16_result):
+    """run_e16 raises if the cold quantile batches differ between backends;
+    reaching this assertion means the parity check inside it passed."""
+    cold = [row for row in e16_result.rows if row["op"] == "cold_quantile_batch"]
+    assert cold and all(row["python_seconds"] > 0 for row in cold)
+
+
+def test_kernel_composite_benchmark(benchmark, e16_result):
+    """Record the composite kernel timing under pytest-benchmark so the
+    trajectory tooling sees E16 next to the other experiments."""
+    python_backend = create_backend("python")
+    numpy_backend = create_backend("numpy")
+    composite = [row for row in e16_result.rows if row["op"] == "composite"]
+    benchmark.extra_info["composite_speedup"] = composite[0]["speedup"]
+
+    values = [float(i % 977) for i in range(50_000)]
+    gids = [i % 613 for i in range(50_000)]
+
+    def one_round():
+        numpy_backend.sum_by_group(gids, values, 613)
+        python_backend.sum_by_group(gids, values, 613)
+
+    benchmark.pedantic(one_round, rounds=3, iterations=1)

@@ -126,13 +126,16 @@ def main() -> int:
 
             stats = client.stats()
             print(
-                "coalescing:", stats["coalescing"],
+                "kernel backend:", stats["kernel_backend"],
+                "| coalescing:", stats["coalescing"],
                 "| requests:", stats["requests"]["by_status"],
             )
+            assert stats["kernel_backend"] in ("python", "numpy"), stats
             for record in stats["recent"]:
                 assert record["status"] in (
                     "ok", "degraded", "shed", "error", "cancelled"
                 ), record
+                assert record["kernel_backend"] == stats["kernel_backend"], record
             assert client.health().status == 200
 
             assert client.shutdown().status == 202

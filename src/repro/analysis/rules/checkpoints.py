@@ -41,6 +41,7 @@ __all__ = ["CheckpointDisciplineRule"]
 #: Path fragments (posix) that mark a module as hot-path.
 HOT_PATH_PACKAGES = (
     "repro/joins/",
+    "repro/kernels/",
     "repro/pivot/",
     "repro/trim/",
     "repro/baselines/",
@@ -56,8 +57,9 @@ class CheckpointDisciplineRule(Rule):
 
     rule_id: ClassVar[str] = "RPR001"
     description: ClassVar[str] = (
-        "loops in hot-path modules (joins/, pivot/, trim/, baselines/) must "
-        "reach a checkpoint() call or carry an explicit waiver"
+        "loops in hot-path modules (joins/, kernels/, pivot/, trim/, "
+        "baselines/) must reach a checkpoint() call or carry an explicit "
+        "waiver"
     )
     severity: ClassVar[str] = Severity.ERROR
 

@@ -11,6 +11,7 @@ import sys
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
 from repro.bench.reporting import print_result, write_json_report
+from repro.kernels import BACKEND_CHOICES, set_backend
 
 #: Scaled-down parameter overrides used by --quick.
 QUICK_OVERRIDES: dict[str, dict] = {
@@ -29,6 +30,7 @@ QUICK_OVERRIDES: dict[str, dict] = {
     "E12": {"sizes": (400,), "num_phis": 9},
     "E13": {"sizes": (600,), "num_phis": 19},
     "E15": {"n": 200, "clients": 8, "requests_per_client": 2},
+    "E16": {"sizes": (400,), "num_phis": 9},
     "A1": {"n": 100},
     "A2": {"n": 400},
     "A3": {"phis": (0.1, 0.5, 0.9), "n": 300},
@@ -53,6 +55,13 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list available experiments and exit"
     )
     parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="kernel backend to run under (overrides REPRO_BACKEND; "
+        "default: environment selection)",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         default=None,
@@ -60,6 +69,8 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_<id>.json into DIR (tracked as a CI artifact)",
     )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        set_backend(args.backend)
     if args.json is not None:
         from pathlib import Path
 

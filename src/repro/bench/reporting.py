@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.bench.harness import ExperimentResult
+from repro.kernels import backend_name
 
 
 def format_value(value: object) -> str:
@@ -64,7 +65,8 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
 
     Always carries ``budget`` and ``degradation`` keys (filled from
     ``result.meta`` when the experiment ran under execution guardrails,
-    ``None`` otherwise), so report consumers can rely on their presence.
+    ``None`` otherwise) and a ``backend`` key naming the kernel backend the
+    experiment ran under, so report consumers can rely on their presence.
     """
     return {
         "experiment": result.experiment,
@@ -75,10 +77,11 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "notes": list(result.notes),
         "budget": result.meta.get("budget"),
         "degradation": result.meta.get("degradation"),
+        "backend": result.meta.get("backend", backend_name()),
         "meta": {
             key: value
             for key, value in result.meta.items()
-            if key not in ("budget", "degradation")
+            if key not in ("budget", "degradation", "backend")
         },
         "environment": {
             "python": sys.version.split()[0],

@@ -295,10 +295,13 @@ def serve_main(argv: list[str]) -> int:
         started = service
 
         async def _announce_and_run() -> int:
+            from repro.kernels import backend_name
+
             await started.start()
             print(
                 f"serving {sorted(started.pool.databases())} on "
-                f"http://{started.host}:{started.port}",
+                f"http://{started.host}:{started.port} "
+                f"(kernel backend: {backend_name()})",
                 file=sys.stderr,
             )
             return await started.run_until_shutdown()

@@ -22,6 +22,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 
 from repro.exceptions import ValidationError
+from repro.kernels import active_backend
 
 Value = Any
 Row = tuple[Value, ...]
@@ -103,7 +104,7 @@ class ColumnStore:
             if self._base is not None:
                 base_rows = self._base.rows()
                 assert self._positions is not None
-                self._rows = [base_rows[i] for i in self._positions]
+                self._rows = active_backend().take(base_rows, self._positions)
             elif self.arity == 0:
                 self._rows = [()] * self._length
             else:
@@ -126,7 +127,7 @@ class ColumnStore:
             if self._base is not None:
                 assert self._positions is not None
                 base_column = self._base.column(index)
-                cached = [base_column[i] for i in self._positions]
+                cached = active_backend().take(base_column, self._positions)
             else:
                 assert self._rows is not None
                 cached = [row[index] for row in self._rows]

@@ -36,6 +36,7 @@ import threading
 from collections.abc import Callable, Hashable, Sequence
 from typing import TYPE_CHECKING, Any
 
+from repro.kernels import active_backend
 from repro.runtime import checkpoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,18 +109,8 @@ class IndexCatalog:
         # injected fault) below leaves the catalog without a partial index.
         checkpoint("index.hash", rows=len(self.relation))
         relation = self.relation
-        index = {}
-        if not signature:
-            if len(relation):
-                index[()] = list(range(len(relation)))
-        elif len(signature) == 1:
-            column = relation.column(signature[0])
-            for position, value in enumerate(column):
-                index.setdefault((value,), []).append(position)
-        else:
-            columns = [relation.column(a) for a in signature]
-            for position, key in enumerate(zip(*columns)):
-                index.setdefault(key, []).append(position)
+        columns = [relation.column(a) for a in signature]
+        index = active_backend().group_by_hash(columns, len(relation))
         return self._publish(self._hash_indexes, signature, index)
 
     def key_set(self, attributes: Sequence[str]) -> set[Key]:
@@ -178,7 +169,7 @@ class IndexCatalog:
         if derived is not None:
             parent, positions = derived
             parent_values = parent.indexes.weight_values(tag, key)
-            values = [parent_values[p] for p in positions]
+            values = active_backend().take(parent_values, positions)
         else:
             values = [key(row) for row in relation.rows]
         return self._publish(self._orders, signature, values)
@@ -210,7 +201,7 @@ class IndexCatalog:
             ]
         else:
             values = self.weight_values(tag, key)
-            order = sorted(range(len(values)), key=values.__getitem__)
+            order = active_backend().argsort(values)
         return self._publish(self._orders, signature, order)
 
     # ------------------------------------------------------------------ #

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.data.database import Database
 from repro.joins.message_passing import MaterializedTree
+from repro.kernels import active_backend
 from repro.query.join_query import JoinQuery
 from repro.runtime import checkpoint
 
@@ -28,23 +29,24 @@ def subtree_counts(tree: MaterializedTree) -> dict[int, list[int]]:
     """
     if tree.counts_cache is not None:
         return tree.counts_cache
+    kernel = active_backend()
     counts: dict[int, list[int]] = {}
     for node in tree.nodes_bottom_up():
         rows = tree.rows(node)
         checkpoint("counting.node", rows=len(rows))
         node_counts = [1] * len(rows)
         for child in tree.children(node):
-            groups = tree.child_groups(node, child)
-            child_counts = counts[child]
-            group_sums: dict[tuple, int] = {
-                key: sum(child_counts[i] for i in indices)
-                for key, indices in groups.items()
-            }
-            for index, row in enumerate(rows):
-                if node_counts[index] == 0:
-                    continue
-                key = tree.parent_group_key(node, row, child)
-                node_counts[index] *= group_sums.get(key, 0)
+            # Whole-column form of the ⊕/⊗ message pass: per-group sums of
+            # the child counts, gathered through each parent row's group
+            # ordinal (the sentinel slot holds 0 = dangling), multiplied in.
+            group_sums = kernel.sum_by_group(
+                tree.child_group_ids(node, child),
+                counts[child],
+                tree.num_child_groups(node, child),
+            )
+            group_sums.append(0)  # sentinel: parent key with no child group
+            gathered = kernel.take(group_sums, tree.parent_group_ids(node, child))
+            node_counts = kernel.multiply(node_counts, gathered)
         counts[node] = node_counts
     tree.counts_cache = counts
     return counts

@@ -13,7 +13,9 @@ from collections.abc import Mapping
 from typing import Any
 
 from repro.data.database import Database
+from repro.data.relation import Relation
 from repro.exceptions import QueryError
+from repro.kernels import active_backend
 from repro.query.join_query import JoinQuery
 from repro.query.join_tree import RootedJoinTree, build_join_tree
 from repro.runtime import checkpoint
@@ -60,17 +62,30 @@ class MaterializedTree:
                 raise QueryError("rooted join tree does not belong to the given query")
         self.node_variables: dict[int, tuple[str, ...]] = {}
         self.node_rows: dict[int, list[Row]] = {}
+        #: Source relation per node when its rows passed through unchanged
+        #: (the common no-repeated-variable case): lets node columns reuse the
+        #: relation's cached column arrays instead of re-extracting per row.
+        self._node_sources: dict[int, Relation | None] = {}
+        self._node_columns: dict[tuple[int, int], list[Any]] = {}
         for node in self.rooted.tree.nodes():
-            variables, rows = _materialize_atom(query, db, node)
+            variables, rows, source = _materialize_atom(query, db, node)
             checkpoint("tree.materialize", rows=len(rows))
             self.node_variables[node] = variables
             self.node_rows[node] = rows
+            self._node_sources[node] = source
         # child group indexes: (parent, child) -> {key: [child row indices]}
         self._groups: dict[tuple[int, int], dict[Row, list[int]]] = {}
         self._join_vars: dict[tuple[int, int], tuple[str, ...]] = {}
         # (parent, child) -> positions of the join variables in the parent's
         # schema, so per-row key extraction does no schema lookups.
         self._parent_positions: dict[tuple[int, int], list[int]] = {}
+        # Dense group ids (built lazily): (parent, child) -> per-child-row
+        # group ordinal, and per-parent-row ordinal of the selected group
+        # (len(groups) = "no such group" sentinel).  These are what the
+        # counting / reduction passes feed to the sum_by_group kernel.
+        self._child_gids: dict[tuple[int, int], list[int]] = {}
+        self._parent_gids: dict[tuple[int, int], list[int]] = {}
+        kernel = active_backend()
         for parent in self.rooted.top_down_order():
             parent_vars = self.node_variables[parent]
             for child in self.rooted.children[parent]:
@@ -81,11 +96,10 @@ class MaterializedTree:
                 ]
                 positions = [self.node_variables[child].index(v) for v in join_vars]
                 checkpoint("tree.group", rows=len(self.node_rows[child]))
-                groups: dict[Row, list[int]] = {}
-                for index, row in enumerate(self.node_rows[child]):
-                    key = tuple(row[p] for p in positions)
-                    groups.setdefault(key, []).append(index)
-                self._groups[(parent, child)] = groups
+                columns = [self.node_column(child, p) for p in positions]
+                self._groups[(parent, child)] = kernel.group_by_hash(
+                    columns, len(self.node_rows[child])
+                )
 
     # ------------------------------------------------------------------ #
     # Structure accessors
@@ -123,6 +137,73 @@ class MaterializedTree:
         """Join groups of the child relation, keyed by shared-variable values."""
         return self._groups[(parent, child)]
 
+    def node_column(self, node: int, position: int) -> list[Any]:
+        """One column of a node's materialized rows (cached).
+
+        When the node's rows passed through from the relation unchanged, this
+        is the relation's own cached column array (zero-copy).
+        """
+        cached = self._node_columns.get((node, position))
+        if cached is None:
+            source = self._node_sources[node]
+            if source is not None:
+                cached = source.store.column(position)
+            else:
+                cached = [row[position] for row in self.node_rows[node]]
+            self._node_columns[(node, position)] = cached
+        return cached
+
+    def num_child_groups(self, parent: int, child: int) -> int:
+        """Number of join groups on one parent-child edge."""
+        return len(self._groups[(parent, child)])
+
+    def child_group_ids(self, parent: int, child: int) -> list[int]:
+        """Dense group ordinal per child row, parallel to the child's rows.
+
+        Ordinals follow the first-occurrence order of
+        :meth:`child_groups`; every child row belongs to exactly one group.
+        """
+        signature = (parent, child)
+        gids = self._child_gids.get(signature)
+        if gids is None:
+            groups = self._groups[signature]
+            checkpoint("tree.group_ids", rows=len(self.node_rows[child]))
+            gids = [0] * len(self.node_rows[child])
+            for ordinal, positions in enumerate(groups.values()):
+                for position in positions:
+                    gids[position] = ordinal
+            self._child_gids[signature] = gids
+        return gids
+
+    def parent_group_ids(self, parent: int, child: int) -> list[int]:
+        """Per parent row, the ordinal of the child group its key selects.
+
+        Parent rows whose key has no child group get the sentinel ordinal
+        ``num_child_groups(parent, child)`` — callers append a neutral entry
+        (0 count / dead flag) at that slot before gathering.
+        """
+        signature = (parent, child)
+        gids = self._parent_gids.get(signature)
+        if gids is None:
+            groups = self._groups[signature]
+            ordinal_of = {key: i for i, key in enumerate(groups)}
+            sentinel = len(groups)
+            positions = self._parent_positions[signature]
+            checkpoint("tree.parent_ids", rows=len(self.node_rows[parent]))
+            if not positions:
+                # Cartesian edge: every parent row selects the single () group
+                # (or the sentinel when the child is empty).
+                ordinal = ordinal_of.get((), sentinel)
+                gids = [ordinal] * len(self.node_rows[parent])
+            elif len(positions) == 1:
+                column = self.node_column(parent, positions[0])
+                gids = [ordinal_of.get((value,), sentinel) for value in column]
+            else:
+                columns = [self.node_column(parent, p) for p in positions]
+                gids = [ordinal_of.get(key, sentinel) for key in zip(*columns)]
+            self._parent_gids[signature] = gids
+        return gids
+
     # ------------------------------------------------------------------ #
     # Row helpers
     # ------------------------------------------------------------------ #
@@ -142,8 +223,9 @@ class MaterializedTree:
 
 def _materialize_atom(
     query: JoinQuery, db: Database, node: int
-) -> tuple[tuple[str, ...], list[Row]]:
-    """Materialize one atom: distinct-variable schema and consistent rows."""
+) -> tuple[tuple[str, ...], list[Row], Relation | None]:
+    """Materialize one atom: distinct-variable schema, consistent rows, and
+    the source relation when the rows passed through unchanged (else None)."""
     atom = query[node]
     relation = db[atom.relation]
     if relation.arity != atom.arity:
@@ -160,15 +242,14 @@ def _materialize_atom(
     rows: list[Row] = []
     checkpoint("tree.atom_scan", rows=len(relation))
     if len(distinct_vars) == len(atom.variables):
-        rows = list(relation.rows)
-    else:
-        for row in relation.rows:
-            if all(
-                row[pos] == row[first_position[var]]
-                for pos, var in enumerate(atom.variables)
-            ):
-                rows.append(tuple(row[first_position[var]] for var in distinct_vars))
-    return tuple(distinct_vars), rows
+        return tuple(distinct_vars), list(relation.rows), relation
+    for row in relation.rows:
+        if all(
+            row[pos] == row[first_position[var]]
+            for pos, var in enumerate(atom.variables)
+        ):
+            rows.append(tuple(row[first_position[var]] for var in distinct_vars))
+    return tuple(distinct_vars), rows, None
 
 
 def merge_assignments(

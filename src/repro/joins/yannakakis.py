@@ -18,6 +18,7 @@ from typing import Any
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.joins.message_passing import MaterializedTree
+from repro.kernels import active_backend
 from repro.query.join_query import JoinQuery
 from repro.runtime import checkpoint
 
@@ -25,45 +26,44 @@ Assignment = dict[str, Any]
 Row = tuple[Any, ...]
 
 
-def _reduced_row_flags(tree: MaterializedTree) -> dict[int, list[bool]]:
+def _reduced_row_flags(tree: MaterializedTree) -> dict[int, list[int]]:
     """Compute which rows survive the full reducer (bottom-up + top-down
-    semi-join passes).  A surviving row participates in at least one answer."""
-    alive: dict[int, list[bool]] = {
-        node: [True] * len(tree.rows(node)) for node in tree.nodes_bottom_up()
+    semi-join passes).  A surviving row (flag 1) participates in at least one
+    answer.  Both passes run as whole-column kernel ops over the tree's dense
+    group-ordinal arrays: a semijoin is a per-group sum of 0/1 alive flags,
+    clamped back to 0/1 and gathered through the other side's ordinals."""
+    kernel = active_backend()
+    alive: dict[int, list[int]] = {
+        node: [1] * len(tree.rows(node)) for node in tree.nodes_bottom_up()
     }
     # Bottom-up: a row dies if some child join group has no surviving row.
     for node in tree.nodes_bottom_up():
-        rows = tree.rows(node)
-        checkpoint("yannakakis.reduce", rows=len(rows))
+        checkpoint("yannakakis.reduce", rows=len(tree.rows(node)))
+        node_alive = alive[node]
         for child in tree.children(node):
-            groups = tree.child_groups(node, child)
-            child_alive = alive[child]
-            live_keys = {
-                key
-                for key, indices in groups.items()
-                if any(child_alive[i] for i in indices)
-            }
-            for index, row in enumerate(rows):
-                if not alive[node][index]:
-                    continue
-                if tree.parent_group_key(node, row, child) not in live_keys:
-                    alive[node][index] = False
+            group_live = kernel.sum_by_group(
+                tree.child_group_ids(node, child),
+                alive[child],
+                tree.num_child_groups(node, child),
+            )
+            live01 = [1 if count else 0 for count in group_live]
+            live01.append(0)  # sentinel: parent key with no child group
+            gathered = kernel.take(live01, tree.parent_group_ids(node, child))
+            node_alive = kernel.multiply(node_alive, gathered)
+        alive[node] = node_alive
     # Top-down: a child row dies if no surviving parent row selects its group.
     for node in tree.nodes_top_down():
-        rows = tree.rows(node)
-        checkpoint("yannakakis.reduce", rows=len(rows))
+        checkpoint("yannakakis.reduce", rows=len(tree.rows(node)))
         for child in tree.children(node):
-            groups = tree.child_groups(node, child)
-            selected_keys = {
-                tree.parent_group_key(node, row, child)
-                for index, row in enumerate(rows)
-                if alive[node][index]
-            }
-            child_alive = alive[child]
-            for key, indices in groups.items():
-                if key not in selected_keys:
-                    for i in indices:
-                        child_alive[i] = False
+            num_groups = tree.num_child_groups(node, child)
+            selected = kernel.sum_by_group(
+                tree.parent_group_ids(node, child),
+                alive[node],
+                num_groups + 1,  # sentinel slot collects unmatched parents
+            )
+            selected01 = [1 if count else 0 for count in selected[:num_groups]]
+            gathered = kernel.take(selected01, tree.child_group_ids(node, child))
+            alive[child] = kernel.multiply(alive[child], gathered)
     return alive
 
 
@@ -78,11 +78,12 @@ def full_reduce(
     if tree is None:
         tree = MaterializedTree(query, db)
     alive = _reduced_row_flags(tree)
+    kernel = active_backend()
     reduced = Database()
     for node in tree.nodes_top_down():
         atom = query[node]
         checkpoint("yannakakis.rebuild", rows=len(tree.rows(node)))
-        rows = [row for index, row in enumerate(tree.rows(node)) if alive[node][index]]
+        rows = kernel.take(tree.rows(node), kernel.masked_filter(alive[node]))
         name = atom.relation
         if name in reduced:
             # Self-join: intersect survivors across atom occurrences.
@@ -137,9 +138,7 @@ def evaluate(
     node_rows = {node: tree.rows(node) for node in order}
     node_variables = {node: tree.variables(node) for node in order}
     root = tree.root
-    root_candidates = [
-        index for index in range(len(node_rows[root])) if alive[root][index]
-    ]
+    root_candidates = active_backend().masked_filter(alive[root])
     if not root_candidates:
         return []
 

@@ -1,0 +1,117 @@
+"""The kernel backend interface: the fixed op set of the physical layer.
+
+A :class:`KernelBackend` is the narrow seam between the join stack's
+*logical* algorithms (semijoin reduction, counting, pivoting, trimming) and
+the *physical* array operations they spend their time in.  Hot paths never
+loop over rows themselves; they call one of the backend ops below on whole
+columns, so swapping the backend (pure stdlib vs. NumPy) changes constant
+factors without touching any algorithm.
+
+The op set is deliberately small and fixed:
+
+=================  ==========================================================
+``take``           gather ``values[p]`` for every position ``p`` (fancy index)
+``argsort``        stable sort order of a column (positions, not values)
+``group_by_hash``  ``{key tuple: [row positions]}`` over one or more columns
+``prefix_sum``     inclusive running totals of a numeric column
+``masked_filter``  positions of the truthy entries of a 0/1 mask
+``searchsorted``   batch bisection of probes into a sorted column
+``sum_by_group``   per-group sums of a value column under dense group ids
+``multiply``       elementwise product of two parallel numeric columns
+=================  ==========================================================
+
+Contract notes shared by every backend:
+
+* Inputs are plain Python sequences; outputs are plain Python ``list``/
+  ``dict`` objects holding plain Python values — NumPy scalars never leak
+  out of the NumPy backend, so downstream hashing, JSON serialization, and
+  equality semantics are identical across backends.
+* ``group_by_hash`` keys appear in **first-occurrence order** and the
+  positions inside each group are ascending (row order); both backends
+  guarantee this, which is what makes results bit-identical.
+* Ops never call :func:`repro.runtime.checkpoint` internally: budget and
+  cancellation checkpoints live at the *call sites*, one per whole-array op
+  instead of one per row, so a kernel call is an uninterruptible unit whose
+  cost is linear in its inputs.
+* Input columns are **frozen once passed**: a backend may cache derived
+  representations keyed on object identity (the NumPy backend caches
+  list→ndarray conversions), so callers must never mutate a column in place
+  between kernel calls — derive a new list instead.  Appending to an op's
+  *output* list is allowed (the caches detect the length change).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import Any, ClassVar
+
+Value = Any
+Key = tuple[Any, ...]
+
+
+class KernelBackend(ABC):
+    """Abstract vectorized-kernel backend (see the module docstring)."""
+
+    #: Short backend identifier (``"python"``, ``"numpy"``); reported by the
+    #: bench ``--backend`` flag, the service ``/stats`` endpoint, and the
+    #: JSON benchmark artifacts.
+    name: ClassVar[str] = "abstract"
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def take(self, values: Sequence[Value], positions: Sequence[int]) -> list[Value]:
+        """Gather ``[values[p] for p in positions]``."""
+
+    @abstractmethod
+    def argsort(self, values: Sequence[Value]) -> list[int]:
+        """Positions that sort ``values`` ascending; **stable** on ties."""
+
+    @abstractmethod
+    def group_by_hash(
+        self, columns: Sequence[Sequence[Value]], length: int
+    ) -> dict[Key, list[int]]:
+        """Group row positions by their key tuple across ``columns``.
+
+        Keys are tuples (one entry per column) in first-occurrence order;
+        positions within a group are ascending.  With no columns, every row
+        belongs to the single group keyed by ``()`` (no group when
+        ``length`` is zero).
+        """
+
+    @abstractmethod
+    def prefix_sum(self, values: Sequence[Value]) -> list[Value]:
+        """Inclusive running totals: ``out[i] = values[0] + ... + values[i]``."""
+
+    @abstractmethod
+    def masked_filter(self, mask: Sequence[Value]) -> list[int]:
+        """Positions of the truthy entries of ``mask``, ascending."""
+
+    @abstractmethod
+    def searchsorted(
+        self, sorted_values: Sequence[Value], probes: Sequence[Value], side: str = "left"
+    ) -> list[int]:
+        """Batch bisection: one insertion point per probe.
+
+        ``side`` is ``"left"`` (:func:`bisect.bisect_left` semantics) or
+        ``"right"`` (:func:`bisect.bisect_right`).
+        """
+
+    @abstractmethod
+    def sum_by_group(
+        self, group_ids: Sequence[int], values: Sequence[Value], num_groups: int
+    ) -> list[Value]:
+        """Per-group sums: ``out[g] = sum(values[i] for i with group_ids[i] == g)``.
+
+        ``group_ids`` are dense ids in ``[0, num_groups)``; groups that
+        receive no value sum to 0.  Values are accumulated in row order, so
+        float results match a sequential left-to-right sum.
+        """
+
+    @abstractmethod
+    def multiply(self, left: Sequence[Value], right: Sequence[Value]) -> list[Value]:
+        """Elementwise product of two equal-length numeric columns."""
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelBackend {self.name}>"

@@ -1,0 +1,89 @@
+"""The zero-dependency stdlib kernel backend (the default).
+
+Every op is the tightest pure-Python form of the loop it replaced in the
+data/joins/pivot/trim layers: comprehensions and stdlib C helpers
+(``sorted``, ``itertools.accumulate``, ``bisect``) rather than index-juggling
+loops.  This backend defines the reference semantics the NumPy backend must
+reproduce bit-for-bit, and it is what keeps the no-dependency install green.
+
+Loops in this module intentionally carry no runtime checkpoints: a kernel
+call is a single uninterruptible unit of linear work, and the budget /
+cancellation checkpoints sit at the call sites (see RPR001 waivers inline).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Sequence
+from itertools import accumulate
+from typing import Any, ClassVar
+
+from repro.exceptions import ValidationError
+from repro.kernels.base import KernelBackend, Key, Value
+
+
+class PythonKernelBackend(KernelBackend):
+    """Pure-stdlib reference implementation of the kernel op set."""
+
+    name: ClassVar[str] = "python"
+
+    # ------------------------------------------------------------------ #
+    def take(self, values: Sequence[Value], positions: Sequence[int]) -> list[Value]:
+        return [values[p] for p in positions]
+
+    def argsort(self, values: Sequence[Value]) -> list[int]:
+        # sorted() is stable, so equal values keep ascending positions.
+        return sorted(range(len(values)), key=values.__getitem__)
+
+    def group_by_hash(
+        self, columns: Sequence[Sequence[Value]], length: int
+    ) -> dict[Key, list[int]]:
+        groups: dict[Key, list[int]] = {}
+        if not columns:
+            if length:
+                groups[()] = list(range(length))
+            return groups
+        if len(columns) == 1:
+            # repro-analysis: allow RPR001 -- kernel op: one uninterruptible linear pass, checkpoints live at call sites
+            for position, value in enumerate(columns[0]):
+                groups.setdefault((value,), []).append(position)
+        else:
+            # repro-analysis: allow RPR001 -- kernel op: one uninterruptible linear pass, checkpoints live at call sites
+            for position, key in enumerate(zip(*columns)):
+                groups.setdefault(key, []).append(position)
+        return groups
+
+    def prefix_sum(self, values: Sequence[Value]) -> list[Value]:
+        return list(accumulate(values))
+
+    def masked_filter(self, mask: Sequence[Value]) -> list[int]:
+        return [position for position, keep in enumerate(mask) if keep]
+
+    def searchsorted(
+        self, sorted_values: Sequence[Value], probes: Sequence[Value], side: str = "left"
+    ) -> list[int]:
+        if side == "left":
+            return [bisect_left(sorted_values, probe) for probe in probes]
+        if side == "right":
+            return [bisect_right(sorted_values, probe) for probe in probes]
+        raise ValidationError(f"searchsorted side must be 'left' or 'right', got {side!r}")
+
+    def sum_by_group(
+        self, group_ids: Sequence[int], values: Sequence[Value], num_groups: int
+    ) -> list[Value]:
+        if len(group_ids) != len(values):
+            raise ValidationError(
+                f"sum_by_group got {len(group_ids)} group ids for {len(values)} values"
+            )
+        sums: list[Value] = [0] * num_groups
+        # repro-analysis: allow RPR001 -- kernel op: one uninterruptible linear pass, checkpoints live at call sites
+        for group, value in zip(group_ids, values):
+            sums[group] += value
+        return sums
+
+    def multiply(self, left: Sequence[Value], right: Sequence[Value]) -> list[Value]:
+        if len(left) != len(right):
+            raise ValidationError(
+                f"multiply got columns of lengths {len(left)} and {len(right)}"
+            )
+        return [a * b for a, b in zip(left, right)]

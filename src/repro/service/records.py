@@ -15,6 +15,7 @@ from __future__ import annotations
 import threading
 
 from repro.exceptions import ValidationError
+from repro.kernels import backend_name
 from collections import Counter, deque
 from dataclasses import asdict, dataclass, field
 from typing import Any
@@ -59,6 +60,9 @@ class RequestRecord:
         Error message for ``error``/``cancelled``/``shed`` outcomes.
     retry_after:
         Suggested seconds to wait before retrying (shed responses only).
+    kernel_backend:
+        The :mod:`repro.kernels` backend active when the request was
+        recorded (``"python"`` or ``"numpy"``).
     """
 
     request_id: int
@@ -77,6 +81,7 @@ class RequestRecord:
     checkpoints: int = 0
     error: str | None = None
     retry_after: float | None = None
+    kernel_backend: str = field(default_factory=backend_name)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form (what ``GET /stats`` returns)."""

@@ -49,6 +49,7 @@ from repro.exceptions import (
     ServiceLifecycleError,
     ValidationError,
 )
+from repro.kernels import backend_name
 from repro.runtime import CancellationToken, ExecutionContext
 from repro.service.admission import AdmissionController, ShedRequestError
 from repro.service.coalesce import BatchOutcome, Coalescer
@@ -306,6 +307,7 @@ class QuantileService:
         )
         return {
             "uptime_seconds": round(uptime, 3),
+            "kernel_backend": backend_name(),
             "draining": self._draining,
             "pending_connections": self.pending_connections,
             "pool": self.pool.stats(),

@@ -32,6 +32,8 @@ import math
 from bisect import bisect_left, bisect_right
 from typing import Any
 
+from repro.kernels import active_backend
+
 from repro.data.columns import ColumnStore
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -129,13 +131,27 @@ class SumAdjacentTrimmer(Trimmer):
         # both distinguishes rankings and keeps the object alive inside the
         # catalog, so a recycled id can never alias another ranking's memos.
         tag = ("sum_weights", self.ranking, atom.variables, tuple(sorted(owned)))
-        weights = relation.indexes.weight_values(
-            tag, lambda row: row_weight(self.ranking, atom.variables, row, owned)
-        )
+        key = lambda row: row_weight(self.ranking, atom.variables, row, owned)  # noqa: E731
+        weights = relation.indexes.weight_values(tag, key)
+        order = relation.indexes.weight_order(tag, key)
         checkpoint("trim.sum_filter", rows=len(weights))
-        positions = [
-            index for index, weight in enumerate(weights) if interval.contains(weight)
-        ]
+        # The admissible weights form one contiguous range of the sorted
+        # order, located by two binary searches instead of an O(n) predicate
+        # scan; the strict/non-strict bounds map to the bisection side.
+        kernel = active_backend()
+        sorted_weights = kernel.take(weights, order)
+        if interval.low is None:
+            start = 0
+        else:
+            low_side = "right" if interval.low_strict else "left"
+            start = kernel.searchsorted(sorted_weights, [interval.low], low_side)[0]
+        if interval.high is None:
+            stop = len(sorted_weights)
+        else:
+            high_side = "left" if interval.high_strict else "right"
+            stop = kernel.searchsorted(sorted_weights, [interval.high], high_side)[0]
+        positions = order[start:stop]
+        positions.sort()  # restore row order for the surviving view
         new_db = db.copy()
         new_db.replace(relation.select_rows(positions))
         return TrimResult(query, new_db)
@@ -201,10 +217,11 @@ class SumAdjacentTrimmer(Trimmer):
             for position in order:
                 sorted_positions[key_at[position]].append(position)
             rows = group_relation.rows
+            kernel = active_backend()
             sorted_groups = {
                 key: (
-                    [weights_at[p] for p in positions],
-                    [rows[p] for p in positions],
+                    kernel.take(weights_at, positions),
+                    kernel.take(rows, positions),
                 )
                 for key, positions in sorted_positions.items()
             }

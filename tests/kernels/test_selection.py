@@ -1,0 +1,159 @@
+"""Backend selection: env variable, runtime switching, graceful fallback."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.kernels as kernels
+from repro.exceptions import ValidationError
+from repro.kernels import (
+    BACKEND_CHOICES,
+    BACKEND_ENV_VAR,
+    active_backend,
+    backend_name,
+    create_backend,
+    set_backend,
+)
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Each test starts from the uninitialized state and restores it after."""
+    previous = kernels._active
+    kernels._active = None
+    yield
+    kernels._active = previous
+
+
+def test_choices_are_the_documented_ones():
+    assert BACKEND_CHOICES == ("auto", "python", "numpy")
+    assert BACKEND_ENV_VAR == "REPRO_BACKEND"
+
+
+def test_create_unknown_backend_rejected():
+    with pytest.raises(ValidationError):
+        create_backend("cuda")
+
+
+def test_python_backend_always_available():
+    assert create_backend("python").name == "python"
+
+
+def test_auto_prefers_numpy_when_available():
+    backend = create_backend("auto")
+    if _numpy_available():
+        assert backend.name == "numpy"
+    else:
+        assert backend.name == "python"
+
+
+def test_env_selection_python(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+    assert active_backend().name == "python"
+    assert backend_name() == "python"
+
+
+def test_env_selection_invalid_warns_and_uses_auto(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+    with pytest.warns(RuntimeWarning, match="fortran"):
+        backend = active_backend()
+    assert backend.name in ("python", "numpy")
+
+
+def test_set_backend_switches_at_runtime(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+    assert active_backend().name == "python"
+    target = "numpy" if _numpy_available() else "python"
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        assert set_backend(target).name == target
+    assert active_backend().name == target
+
+
+def test_lazy_init_happens_once(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+    first = active_backend()
+    monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
+    assert active_backend() is first  # env only read on first use
+
+
+@pytest.mark.skipif(_numpy_available(), reason="only meaningful without NumPy")
+def test_explicit_numpy_without_numpy_warns_and_degrades():
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        backend = create_backend("numpy")
+    assert backend.name == "python"
+
+
+def test_end_to_end_quantiles_bit_identical_across_backends():
+    """A small φ batch over a 3-path SUM workload must agree bit-for-bit."""
+    if not _numpy_available():
+        pytest.skip("NumPy not importable; only one backend to compare")
+    from repro.engine import Engine
+    from repro.ranking.sum import SumRanking
+    from repro.workloads.path import path_workload
+
+    workload = path_workload(
+        3, 120, join_domain=6, ranking=SumRanking(["x1", "x2", "x3"]), seed=11
+    )
+    phis = [0.1, 0.25, 0.5, 0.75, 0.9]
+    outcomes = {}
+    for name in ("python", "numpy"):
+        set_backend(name)
+        prepared = Engine(workload.db).prepare(workload.query, workload.ranking)
+        results = prepared.quantiles(phis)
+        outcomes[name] = [
+            (r.weight, r.assignment, r.target_index, r.total_answers, r.exact)
+            for r in results
+        ]
+    assert outcomes["python"] == outcomes["numpy"]
+
+
+def test_end_to_end_empty_relation_parity():
+    """Empty relations (0 answers) go through every kernel edge case."""
+    if not _numpy_available():
+        pytest.skip("NumPy not importable; only one backend to compare")
+    from repro.data import Database, Relation
+    from repro.joins.counting import count_answers
+    from repro.query import Atom, JoinQuery
+
+    db = Database(
+        [
+            Relation("R", ("x1", "x2"), [(1, 2), (2, 3)]),
+            Relation("S", ("x2", "x3"), []),
+        ]
+    )
+    query = JoinQuery([Atom("R", ("x1", "x2")), Atom("S", ("x2", "x3"))])
+    counts = {}
+    for name in ("python", "numpy"):
+        set_backend(name)
+        counts[name] = count_answers(query, db)
+    assert counts == {"python": 0, "numpy": 0}
+
+
+def test_end_to_end_single_row_parity():
+    if not _numpy_available():
+        pytest.skip("NumPy not importable; only one backend to compare")
+    from repro.data import Database, Relation
+    from repro.joins.counting import count_answers
+    from repro.query import Atom, JoinQuery
+
+    db = Database(
+        [
+            Relation("R", ("x1", "x2"), [(1, 2)]),
+            Relation("S", ("x2", "x3"), [(2, 9)]),
+        ]
+    )
+    query = JoinQuery([Atom("R", ("x1", "x2")), Atom("S", ("x2", "x3"))])
+    for name in ("python", "numpy"):
+        set_backend(name)
+        assert count_answers(query, db) == 1
