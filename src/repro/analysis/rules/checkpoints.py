@@ -45,6 +45,7 @@ HOT_PATH_PACKAGES = (
     "repro/pivot/",
     "repro/trim/",
     "repro/baselines/",
+    "repro/parallel/",
 )
 
 

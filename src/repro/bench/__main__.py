@@ -12,6 +12,7 @@ import sys
 from repro.bench.registry import EXPERIMENTS, run_experiment
 from repro.bench.reporting import print_result, write_json_report
 from repro.kernels import BACKEND_CHOICES, set_backend
+from repro.parallel.planner import default_shard_count
 
 #: Scaled-down parameter overrides used by --quick.
 QUICK_OVERRIDES: dict[str, dict] = {
@@ -31,6 +32,10 @@ QUICK_OVERRIDES: dict[str, dict] = {
     "E13": {"sizes": (600,), "num_phis": 19},
     "E15": {"n": 200, "clients": 8, "requests_per_client": 2},
     "E16": {"sizes": (400,), "num_phis": 9},
+    # Shard count follows the shared cpu_count-aware default, so a quick run
+    # on a laptop exercises a real K-way pool while single-core CI stays
+    # serial instead of paying process overhead for no parallelism.
+    "E17": {"sizes": (400,), "num_phis": 9, "shard_counts": (default_shard_count(),)},
     "A1": {"n": 100},
     "A2": {"n": 400},
     "A3": {"phis": (0.1, 0.5, 0.9), "n": 300},

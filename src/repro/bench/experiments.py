@@ -1258,3 +1258,109 @@ def run_e16(
             "bit-identical quantile batches"
         )
     return result
+
+
+# ---------------------------------------------------------------------- #
+# E17: sharded parallel execution — serial vs hash-partitioned workers
+# ---------------------------------------------------------------------- #
+def run_e17(
+    sizes: Sequence[int] = (1500,),
+    num_phis: int = 19,
+    shard_counts: Sequence[int] = (2,),
+    mode: str | None = None,
+    seed: int = 23,
+) -> ExperimentResult:
+    """E17 — sharded parallel execution: serial vs K hash-partitioned workers.
+
+    The planner hash-partitions the largest relation of the E13 path
+    workload on its join key, co-partitions the connected relations, and
+    ships per-shard columns to a process pool; each worker runs the
+    unchanged Yannakakis reduction + subtree counting, and the coordinator
+    merges per-shard rank counts so the pivot loop answers phi over the
+    global answer order.  Because every answer binds the partition variable
+    to exactly one value, the per-shard answer multisets partition the
+    global one: the parallel batch must be bit-identical to the serial
+    batch, and the speedup on >= 2 cores should approach K on the
+    reduction-dominated path workloads (acceptance target: >= 1.6x at K=2).
+    On a single-core host the run still validates equality; the speedup
+    column then just records the coordination overhead.
+    """
+    import os
+
+    from repro.engine import Engine
+    from repro.parallel.pool import PARALLEL_MODE_ENV_VAR
+
+    result = ExperimentResult(
+        experiment="E17",
+        title="Sharded parallel execution: serial vs hash-partitioned workers",
+        claim="Section 4 / Theorem 4.1: the quantile algorithm is a "
+        "constant number of linear passes, so hash-partitioning the data "
+        "and merging per-shard rank counts preserves exactness while "
+        "dividing the dominant pass across workers",
+        columns=[
+            "workload",
+            "n",
+            "answers",
+            "phis",
+            "shards",
+            "serial_seconds",
+            "parallel_seconds",
+            "speedup",
+        ],
+    )
+    phis = [(i + 1) / (num_phis + 1) for i in range(num_phis)]
+    effective_mode = mode or os.environ.get(PARALLEL_MODE_ENV_VAR) or "process"
+    for n in sizes:
+        workload = path_workload(
+            3,
+            n,
+            join_domain=max(2, n // 20),
+            ranking=SumRanking(["x1", "x2", "x3"]),
+            seed=seed + n,
+        )
+
+        def run_serial() -> list[QuantileResult]:
+            prepared = Engine(workload.db).prepare(workload.query, workload.ranking)
+            return prepared.quantiles(phis)
+
+        serial_results, serial_time = time_call(run_serial)
+        serial_weights = [r.weight for r in serial_results]
+        for shards in shard_counts:
+
+            def run_parallel() -> tuple[list[QuantileResult], int | None]:
+                prepared = Engine(workload.db).prepare(
+                    workload.query, workload.ranking, parallel=shards
+                )
+                try:
+                    return prepared.quantiles(phis), prepared.shards
+                finally:
+                    prepared.close()
+
+            (parallel_results, used), parallel_time = time_call(run_parallel)
+            if [r.weight for r in parallel_results] != serial_weights:
+                raise AssertionError(
+                    f"parallel batch (K={shards}) disagrees with the serial batch"
+                )
+            result.rows.append(
+                {
+                    "workload": "path",
+                    "n": workload.database_size,
+                    "answers": serial_results[0].total_answers,
+                    "phis": num_phis,
+                    "shards": used if used is not None else 1,
+                    "serial_seconds": round(serial_time, 4),
+                    "parallel_seconds": round(parallel_time, 4),
+                    "speedup": round(serial_time / parallel_time, 2)
+                    if parallel_time > 0
+                    else float("inf"),
+                }
+            )
+    speedups = [row["speedup"] for row in result.rows]
+    result.notes.append(
+        f"parallel vs serial cold-batch speedups: {speedups} over "
+        f"{num_phis} phi values; mode={effective_mode}, "
+        f"cpu_count={os.cpu_count() or 1} "
+        "(acceptance target: >= 1.6x at K=2 on >= 2 cores; every parallel "
+        "batch asserted bit-identical to serial)"
+    )
+    return result

@@ -76,6 +76,23 @@ def parse_query_spec(text: str) -> JoinQuery:
         raise argparse.ArgumentTypeError(str(error)) from error
 
 
+def parse_parallel(text: str) -> int | str:
+    """Parse ``--parallel``: a positive shard count or ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--parallel must be a positive integer or 'auto', got {text!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--parallel must be a positive integer or 'auto', got {text!r}"
+        )
+    return value
+
+
 def parse_phi_list(text: str) -> list[float]:
     """Parse one ``--phi`` occurrence: a float or a comma-separated list."""
     phis: list[float] = []
@@ -176,13 +193,21 @@ def build_parser() -> argparse.ArgumentParser:
         "with approx/sampling/materialize, or walk the full degrade ladder "
         "(default: error)",
     )
+    parser.add_argument(
+        "--parallel", type=parse_parallel, default=None,
+        help="shard the exact pivoting path across K worker processes "
+        "(a positive integer, or 'auto' for min(4, cores); default: serial)",
+    )
     parser.add_argument("--count-only", action="store_true", help="only print |Q(D)| and exit")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     return parser
 
 
 def _result_record(
-    result: QuantileResult, plan: SolverPlan, phi: float | None
+    result: QuantileResult,
+    plan: SolverPlan,
+    phi: float | None,
+    shards: int | None = None,
 ) -> dict[str, Any]:
     record: dict[str, Any] = {
         "strategy": result.strategy,
@@ -196,6 +221,7 @@ def _result_record(
         "pivot_iterations": result.iterations,
         "degraded": result.degraded,
         "degradation": result.degradation,
+        "shards": shards,
     }
     if phi is not None:
         record = {"phi": phi, **record}
@@ -343,6 +369,11 @@ def build_client_parser() -> argparse.ArgumentParser:
     parser.add_argument("--timeout", type=float, default=None, help="per-execution wall-clock budget")
     parser.add_argument("--max-rows", type=int, default=None, help="per-execution row budget")
     parser.add_argument("--on-budget", default=None, help="degradation policy override")
+    parser.add_argument(
+        "--parallel", type=parse_parallel, default=None,
+        help="shard the exact pivoting path across K worker processes "
+        "(a positive integer or 'auto')",
+    )
     parser.add_argument("--stats", action="store_true", help="print service stats and exit")
     parser.add_argument("--health", action="store_true", help="print health/readiness and exit")
     parser.add_argument("--shutdown", action="store_true", help="ask the service to drain and exit")
@@ -385,6 +416,7 @@ def client_main(argv: list[str]) -> int:
             phis=phis, index=args.index,
             epsilon=args.epsilon, strategy=args.strategy, seed=args.seed,
             timeout=args.timeout, max_rows=args.max_rows, on_budget=args.on_budget,
+            parallel=args.parallel,
         )
     except OSError as error:
         print(f"error: cannot reach service at {args.url}: {error}", file=sys.stderr)
@@ -432,19 +464,23 @@ def main(argv: list[str] | None = None) -> int:
                 query, ranking,
                 epsilon=args.epsilon, strategy=args.strategy, seed=args.seed,
                 timeout=args.timeout, max_rows=args.max_rows,
-                on_budget=args.on_budget,
+                on_budget=args.on_budget, parallel=args.parallel,
                 eager=False,
             )
             plan = prepared.plan()
             if phis:
                 results = prepared.quantiles(phis)
+                # Shard count is read after execution (the parallel session
+                # is built lazily on the first exact-pivot call).
+                shards = prepared.shards
                 records = [
-                    _result_record(result, plan, phi)
+                    _result_record(result, plan, phi, shards)
                     for phi, result in zip(phis, results)
                 ]
                 payload = records if len(records) > 1 else records[0]
             else:
-                payload = _result_record(prepared.selection(args.index), plan, None)
+                result = prepared.selection(args.index)
+                payload = _result_record(result, plan, None, prepared.shards)
     except BudgetExceededError as error:
         print(f"error: {error}", file=sys.stderr)
         return 3

@@ -14,9 +14,13 @@ the join stack keeps rebuilding:
   identifying objects themselves, never their ``id()``) — serving the
   trimmers' per-group sorts.
 
-Indexes are invalidated wholesale when the relation mutates
-(:meth:`Relation.add` drops the catalog), so a stale index can never be
-served.
+Appends no longer drop the catalog wholesale: :meth:`Relation.add` calls
+:meth:`IndexCatalog.note_append`, which absorbs the new row into every
+built hash index and key set in place, keeps memoized weight-value arrays
+(extended lazily by :meth:`weight_values` on next read), and drops only the
+order-derived structures — sort orders and trimmer memos — whose shape
+depends on the global row order.  A stale index can still never be served:
+everything kept is delta-correct, everything order-dependent is recomputed.
 
 The catalog is safe under concurrent readers (the always-on service shares
 relations across requests): every index is built entirely off to the side —
@@ -50,8 +54,12 @@ Key = tuple[Value, ...]
 class IndexCatalog:
     """Memoized physical access structures of one relation.
 
-    Obtained via :attr:`Relation.indexes`; never outlives a mutation of the
-    relation (the relation drops the whole catalog on :meth:`Relation.add`).
+    Obtained via :attr:`Relation.indexes`; survives appends — the relation
+    calls :meth:`note_append` so hash indexes and key sets stay current,
+    keeping memoized weight values warm across :meth:`Relation.add` calls.
+    Appends assume a single writer (like :meth:`Relation.add` itself);
+    concurrent readers remain safe because kept structures are only ever
+    extended and replaced structures are published whole.
     """
 
     __slots__ = (
@@ -89,6 +97,47 @@ class IndexCatalog:
                 return existing
             table[signature] = value
             return value
+
+    def _publish_overwrite(self, table: dict[Any, Any], signature: Hashable, value: Any) -> Any:
+        """Install ``value`` under ``signature`` unconditionally.
+
+        Used when replacing a structure that is known stale (e.g. a
+        weight-value array shorter than the relation after appends): unlike
+        :meth:`_publish`, the fresh structure must win.  Readers holding the
+        old structure are unaffected — it is never mutated, only superseded.
+        """
+        with self._lock:
+            table[signature] = value
+            return value
+
+    # ------------------------------------------------------------------ #
+    # Append maintenance
+    # ------------------------------------------------------------------ #
+    def note_append(self, row: Row) -> None:
+        """Absorb one appended row (called by :meth:`Relation.add`).
+
+        Hash indexes and key sets take the new row in O(built indexes);
+        weight-value arrays are kept (extended lazily by
+        :meth:`weight_values` when next read); sort orders and trimmer
+        memos are dropped — their shape depends on the global row order, so
+        a delta append cannot patch them.  Single-writer, like
+        :meth:`Relation.add`.
+        """
+        relation = self.relation
+        position = len(relation) - 1
+        with self._lock:
+            for signature, index in self._hash_indexes.items():
+                key = tuple(row[relation.position(a)] for a in signature)
+                index.setdefault(key, []).append(position)
+            for signature, keys in self._key_sets.items():
+                keys.add(tuple(row[relation.position(a)] for a in signature))
+            stale = [
+                s
+                for s in self._orders
+                if isinstance(s, tuple) and s and s[0] in ("__order__", "__memo__")
+            ]
+            for signature in stale:
+                del self._orders[signature]
 
     # ------------------------------------------------------------------ #
     # Hash indexes
@@ -155,13 +204,25 @@ class IndexCatalog:
         alive and their ids cannot be recycled into stale hits.  When the
         relation is a row-subset view of a parent relation, the parent's
         memoized values are filtered through the survivor positions instead
-        of re-applying ``key``.
+        of re-applying ``key``.  Values memoized before an append survive
+        it: a cached array shorter than the relation is extended with
+        ``key`` applied to the new rows only — into a fresh list, so readers
+        holding the old array never observe growth mid-scan.
         """
         signature: Hashable = ("__values__", tag)
         values = self._orders.get(signature)
         if values is not None:
+            relation = self.relation
+            if len(values) == len(relation):
+                self.hits += 1
+                return values
+            # Stale-short after appends: keep the already-computed prefix.
             self.hits += 1
-            return values
+            checkpoint("index.weights", rows=len(relation) - len(values))
+            rows = relation.rows
+            extended = list(values)
+            extended.extend(key(row) for row in rows[len(values):])
+            return self._publish_overwrite(self._orders, signature, extended)
         self.misses += 1
         checkpoint("index.weights", rows=len(self.relation))
         relation = self.relation

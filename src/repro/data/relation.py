@@ -7,7 +7,8 @@ data now lives in a :class:`~repro.data.columns.ColumnStore`: per-column
 arrays with zero-copy masked views, so ``filter``/``semijoin``/``project``
 /``rename`` share the parent's storage instead of copying rows.  Each
 relation also lazily owns an :class:`~repro.data.indexes.IndexCatalog` of
-memoized hash indexes and sort orders (dropped wholesale on mutation), which
+memoized hash indexes and sort orders (delta-maintained across appends,
+with order-derived structures recomputed lazily), which
 ``semijoin``, ``group_by``, ``natural_join``, and ``__contains__`` consult
 instead of rebuilding their structures per call.
 """
@@ -136,7 +137,7 @@ class Relation:
 
     @property
     def indexes(self) -> IndexCatalog:
-        """The memoized index catalog (created lazily, dropped on mutation).
+        """The memoized index catalog (created lazily, kept across appends).
 
         Creation is guarded by a module-wide lock so concurrent first readers
         share one catalog — two catalogs for the same relation would each
@@ -226,8 +227,13 @@ class Relation:
     def add(self, row: Row) -> None:
         """Append a tuple, validating its arity.
 
-        Mutation invalidates the index catalog (stale indexes are never
-        served) and detaches the relation from any parent view linkage.
+        Mutation detaches the relation from any parent view linkage (via the
+        version bump) but keeps the index catalog: hash indexes and key sets
+        absorb the new row in place, memoized weight-value arrays are
+        extended lazily on next read, and only order-derived structures
+        (sort orders, trimmer memos) are dropped — see
+        :meth:`IndexCatalog.note_append`.  Appends assume a single writer;
+        concurrent readers are safe.
         """
         row = tuple(row)
         if len(row) != len(self.schema):
@@ -237,7 +243,9 @@ class Relation:
             )
         self._store.append(row)
         self._version += 1
-        self._catalog = None
+        catalog = self._catalog
+        if catalog is not None:
+            catalog.note_append(row)
 
     def filter(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Relation":
         """Return a masked view with the rows satisfying ``predicate``."""

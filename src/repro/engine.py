@@ -50,10 +50,14 @@ from repro.exceptions import (
     SolverError,
     TrimmingError,
     ValidationError,
+    WorkerCrashError,
+    WorkerPoolClosedError,
 )
 from repro.joins.counting import count_from_tree
 from repro.joins.tree_cache import TreeCache
 from repro.joins.yannakakis import full_reduce
+from repro.parallel.merger import ParallelSession, RankMerger
+from repro.parallel.planner import ShardPlan, ShardPlanner, resolve_shard_count
 from repro.query.classify import (
     SumClassification,
     classify_always_tractable,
@@ -184,6 +188,14 @@ class PreparedQuery:
         it aborts any in-flight execution at its next checkpoint.
         Cancellation is never degraded — it always propagates as
         :class:`~repro.exceptions.ExecutionCancelledError`.
+    parallel:
+        Shard the exact pivoting path across ``K`` worker processes
+        (:mod:`repro.parallel`): a positive int fixes K, ``"auto"`` picks
+        ``min(4, cpu_count)``, ``None`` (default) stays serial.  Only the
+        ``exact-pivot`` strategy shards; every other strategy (and every
+        degradation rung) runs single-process.  Results are bit-identical to
+        the serial path; a crashed worker degrades the call to the serial
+        algorithm with a degradation note instead of failing it.
     """
 
     def __init__(
@@ -200,6 +212,7 @@ class PreparedQuery:
         max_rows: int | None = None,
         on_budget: str = "error",
         cancellation: CancellationToken | None = None,
+        parallel: int | str | None = None,
     ) -> None:
         if isinstance(query, str):
             query = JoinQuery.parse(query)
@@ -223,6 +236,8 @@ class PreparedQuery:
         self.max_rows = max_rows
         self.on_budget = on_budget
         self.cancellation = cancellation
+        self.parallel = parallel
+        self._shard_count = resolve_shard_count(parallel)
         if termination_factor < 1:
             raise SolverError("termination_factor must be at least 1")
         self.termination_factor = termination_factor
@@ -246,6 +261,14 @@ class PreparedQuery:
         # counting, reduction, pivot selection, and terminal enumeration
         # across all executions of this prepared query.
         self._tree_cache = TreeCache()
+        # Sharded parallel execution state (exact-pivot only): the shard
+        # plan, the live worker session, and the rank merger are prepared
+        # once and cached like everything else.  A non-None note records why
+        # parallelism was permanently disabled for this prepared query.
+        self._parallel_plan: ShardPlan | None = None
+        self._parallel_session: ParallelSession | None = None
+        self._parallel_merger: RankMerger | None = None
+        self._parallel_note: str | None = None
         # Serializes the lazy ensure steps under concurrent executions (the
         # service shares one prepared query across callers): the first caller
         # builds, the rest wait and reuse, and no heavy preprocessing is ever
@@ -287,6 +310,8 @@ class PreparedQuery:
             self._ensure_reduced()
             self._ensure_total()
             self._ensure_trimmer(plan.strategy)
+            if plan.strategy == "exact-pivot":
+                self._ensure_parallel()
         elif plan.strategy == "sampling":
             self._ensure_canonical()
             self._ensure_total()
@@ -507,6 +532,123 @@ class PreparedQuery:
             return pivot, self._answer_caches[strategy]
 
     # ------------------------------------------------------------------ #
+    # Sharded parallel execution (exact-pivot only)
+    # ------------------------------------------------------------------ #
+    def _ensure_parallel(self) -> RankMerger | None:
+        """The rank merger over live shard workers, or ``None`` for serial.
+
+        Built at most once per prepared query: the shard plan partitions the
+        semijoin-reduced base, a worker session ships/reduces/counts every
+        shard, and the merger caches pivot rounds across φ values exactly
+        like the serial pivot cache.  A failure to start (worker crash,
+        closed pool) permanently disables parallelism for this prepared
+        query — recorded in ``_parallel_note`` — instead of failing the
+        call.
+        """
+        if self._shard_count < 2 or self._parallel_note is not None:
+            return self._parallel_merger
+        if getattr(self.ranking, "_weights", None):
+            # Custom weight callables cannot be shipped reliably to workers.
+            self._parallel_note = "custom weight functions are not shardable"
+            return None
+        with self._state_lock:
+            if self._parallel_merger is not None or self._parallel_note is not None:
+                return self._parallel_merger
+            if self.plan().strategy != "exact-pivot":
+                self._parallel_note = (
+                    f"strategy {self.plan().strategy!r} does not shard"
+                )
+                return None
+            base_query, base_db = self._ensure_reduced()
+            total = self._ensure_total()
+            try:
+                plan = ShardPlanner(self._shard_count).plan(base_query, base_db)
+                session = ParallelSession(plan, self.ranking)
+                session.start()
+            except (WorkerCrashError, WorkerPoolClosedError) as exc:
+                self._parallel_note = f"failed to start workers: {exc}"
+                return None
+            if session.total != total:
+                # Defensive: a shard plan that loses or duplicates answers
+                # must never silently change results.
+                session.close()
+                self._parallel_note = (
+                    f"shard plan count mismatch ({session.total} != {total})"
+                )
+                return None
+            self._parallel_plan = plan
+            self._parallel_session = session
+            self._parallel_merger = RankMerger(
+                session, step_cache_limit=self._pivot_cache_limit or 1
+            )
+            return self._parallel_merger
+
+    def _disable_parallel(self, note: str) -> None:
+        """Permanently fall back to serial execution (idempotent)."""
+        with self._state_lock:
+            session = self._parallel_session
+            self._parallel_session = None
+            self._parallel_merger = None
+            self._parallel_plan = None
+            if self._parallel_note is None:
+                self._parallel_note = note
+        if session is not None:
+            session.close()
+
+    def _try_parallel(
+        self, phi: float | None, index: int | None
+    ) -> QuantileResult | None:
+        """Run one exact-pivot call on the shard workers, or ``None`` for serial.
+
+        A crashed worker degrades the call to the serial path (re-executed
+        immediately) with ``degraded=True`` and a
+        :class:`~repro.exceptions.DegradedResultWarning`; an orderly pool
+        shutdown (eviction, :meth:`close`) falls back silently — nothing was
+        lost.
+        """
+        merger = self._ensure_parallel()
+        if merger is None:
+            return None
+        session = merger.session
+        termination_size = self.termination_factor * max(session.reduced_rows, 1)
+        try:
+            return merger.solve(
+                phi, index, set(self.query.variables), termination_size
+            )
+        except WorkerCrashError as crash:
+            self._disable_parallel(f"worker crashed: {crash}")
+            result = self._execute("exact-pivot", phi, index)
+            note = f"parallel -> serial ({crash})"
+            warnings.warn(DegradedResultWarning(note), stacklevel=5)
+            return replace(result, degraded=True, degradation=note)
+        except WorkerPoolClosedError as closed:
+            self._disable_parallel(f"pool closed: {closed}")
+            return None
+
+    @property
+    def shards(self) -> int | None:
+        """Shard count of the live parallel session, or ``None`` if serial."""
+        session = self._parallel_session
+        if session is None or session.closed:
+            return None
+        return session.num_shards
+
+    @property
+    def parallel_note(self) -> str | None:
+        """Why parallelism is disabled for this prepared query, if it is."""
+        return self._parallel_note
+
+    def close(self) -> None:
+        """Release process-backed resources (the shard worker pool).
+
+        Idempotent; the prepared query stays usable afterwards on the serial
+        path.  Called by :meth:`Engine.evict` / :meth:`Engine.clear` so
+        evicted queries never leak worker processes.
+        """
+        if self._parallel_session is not None:
+            self._disable_parallel("prepared query closed")
+
+    # ------------------------------------------------------------------ #
     # Strategy dispatch
     # ------------------------------------------------------------------ #
     def _has_guards(self) -> bool:
@@ -593,6 +735,10 @@ class PreparedQuery:
         if strategy == "sampling":
             return self._solve_by_sampling(phi=phi, index=index)
         if strategy in ("exact-pivot", "approx-pivot"):
+            if strategy == "exact-pivot" and self._shard_count >= 2:
+                result = self._try_parallel(phi, index)
+                if result is not None:
+                    return result
             trimmer = self._ensure_trimmer(strategy)
             base_query, base_db = self._ensure_reduced()
             pivot_cache, answer_cache = self._strategy_caches(strategy)
@@ -691,6 +837,10 @@ class PreparedQuery:
         total += self.pivot_cache_size * 1024
         answer_entries = sum(len(cache) for cache in self._answer_caches.values())
         total += answer_entries * self.termination_factor * row_bytes
+        # Shard payloads are replicated into worker processes; charge the
+        # shipped rows (broadcast replication included) at the same rate.
+        if self._parallel_plan is not None:
+            total += self._parallel_plan.total_rows * row_bytes
         return total
 
     @property
@@ -747,18 +897,21 @@ class Engine:
         timeout: float | None = None,
         max_rows: int | None = None,
         on_budget: str = "error",
+        parallel: int | str | None = None,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValidationError(f"timeout must be positive, got {timeout!r}")
         if max_rows is not None and max_rows <= 0:
             raise ValidationError(f"max_rows must be positive, got {max_rows!r}")
         validate_policy(on_budget)
+        resolve_shard_count(parallel)  # validate the engine-wide default
         self.db = db
         self.pivot_cache_limit = pivot_cache_limit
         self.memoize = memoize
         self.timeout = timeout
         self.max_rows = max_rows
         self.on_budget = on_budget
+        self.parallel = parallel
         self._prepared: dict[tuple[Any, ...], PreparedQuery] = {}
         # Guards the prepared-query memo so concurrent prepare() calls for
         # the same signature share one PreparedQuery (and its caches) instead
@@ -779,6 +932,7 @@ class Engine:
         max_rows: int | None = _UNSET,  # type: ignore[assignment]
         on_budget: str | None = None,
         cancellation: CancellationToken | None = None,
+        parallel: int | str | None = _UNSET,  # type: ignore[assignment]
     ) -> PreparedQuery:
         """Plan a (query, ranking) pair once and return the prepared query.
 
@@ -802,6 +956,11 @@ class Engine:
             unspecified knobs inherit the engine-wide defaults.  A prepared
             query carrying a cancellation token is never memoized — the
             token is per-caller state.
+        parallel:
+            Shard the exact pivoting path across ``K`` worker processes —
+            a positive int, ``"auto"`` (= ``min(4, cpu_count)``), or
+            ``None`` for serial (see :class:`PreparedQuery`).  Unspecified,
+            inherits the engine-wide default.
         """
         if isinstance(query, str):
             query = JoinQuery.parse(query)
@@ -813,6 +972,8 @@ class Engine:
             max_rows = self.max_rows
         if on_budget is None:
             on_budget = self.on_budget
+        if parallel is _UNSET:
+            parallel = self.parallel
         kwargs: dict[str, Any] = {}
         if termination_factor is not None:
             kwargs["termination_factor"] = termination_factor
@@ -827,6 +988,7 @@ class Engine:
             max_rows,
             on_budget,
             cancellation,
+            parallel,
         )
         with self._lock:
             prepared = self._prepared.get(key) if key is not None else None
@@ -843,6 +1005,7 @@ class Engine:
                     max_rows=max_rows,
                     on_budget=on_budget,
                     cancellation=cancellation,
+                    parallel=parallel,
                     **kwargs,
                 )
                 if key is not None:
@@ -865,6 +1028,7 @@ class Engine:
         max_rows: int | None,
         on_budget: str,
         cancellation: CancellationToken | None,
+        parallel: int | str | None,
     ) -> tuple[Any, ...] | None:
         """Memoization key for a prepared query, or None if not memoizable."""
         if not self.memoize or getattr(ranking, "_weights", None):
@@ -884,6 +1048,9 @@ class Engine:
             timeout,
             max_rows,
             on_budget,
+            # Resolved so parallel="auto" and parallel=<that count> share
+            # one prepared query (identical plans, identical results).
+            resolve_shard_count(parallel),
         )
 
     # ------------------------------------------------------------------ #
@@ -945,12 +1112,15 @@ class Engine:
             for key, candidate in list(self._prepared.items()):
                 if candidate is prepared:
                     del self._prepared[key]
+                    prepared.close()
                     return True
         return False
 
     def clear(self) -> None:
-        """Drop all memoized prepared queries."""
+        """Drop all memoized prepared queries (closing their worker pools)."""
         with self._lock:
+            for prepared in self._prepared.values():
+                prepared.close()
             self._prepared.clear()
 
     def __repr__(self) -> str:

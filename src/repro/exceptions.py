@@ -88,6 +88,26 @@ class ServiceLifecycleError(ReproError, RuntimeError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """A parallel worker process died mid-execution.
+
+    Raised by :class:`~repro.parallel.pool.WorkerPool` when a shard's process
+    terminates abnormally (killed, segfaulted, OOM'd).  The engine catches it
+    on the parallel path and degrades the affected call to the single-process
+    algorithm, marking the result ``degraded=True``.
+    """
+
+
+class WorkerPoolClosedError(ReproError):
+    """A parallel worker pool was shut down while a call was using it.
+
+    Distinct from :class:`WorkerCrashError` on purpose: a closed pool is an
+    orderly lifecycle event (eviction, ``PreparedQuery.close``), so the
+    engine falls back to the serial path *without* marking the result
+    degraded — nothing crashed and nothing was lost.
+    """
+
+
 class BudgetExceededError(ReproError):
     """An execution exceeded one of its configured budgets.
 
@@ -110,6 +130,13 @@ class BudgetExceededError(ReproError):
         self.budget = budget
         self.checkpoint = checkpoint
 
+    def __reduce__(self) -> tuple[object, ...]:
+        # The default exception reduce only replays ``args`` (the message),
+        # silently dropping ``budget``/``checkpoint`` across a process
+        # boundary — the engine's degradation note reads both, so a budget
+        # tripped inside a parallel worker must round-trip them.
+        return (type(self), (self.args[0], self.budget, self.checkpoint))
+
 
 class ExecutionCancelledError(ReproError):
     """The execution's cooperative cancellation token was triggered.
@@ -127,6 +154,11 @@ class ExecutionCancelledError(ReproError):
     def __init__(self, message: str, checkpoint: str = "") -> None:
         super().__init__(message)
         self.checkpoint = checkpoint
+
+    def __reduce__(self) -> tuple[object, ...]:
+        # Same pickling fix as BudgetExceededError: keep ``checkpoint``
+        # across the worker-process boundary.
+        return (type(self), (self.args[0], self.checkpoint))
 
 
 class DegradedResultWarning(UserWarning):

@@ -53,6 +53,9 @@ class BatchOutcome:
         Engine time of the whole batch (shared).
     checkpoints:
         Runtime checkpoints the batch observed (shared).
+    shards:
+        Shard count of the parallel session that served the batch, or
+        ``None`` when it ran single-process.
     """
 
     outcomes: dict[float, Any]
@@ -60,6 +63,7 @@ class BatchOutcome:
     queue_seconds: float
     execute_seconds: float
     checkpoints: int
+    shards: int | None = None
 
 
 @dataclass
@@ -165,10 +169,15 @@ class Coalescer:
             self.max_fan_in = max(self.max_fan_in, fan_in)
             merged = tuple(sorted(batch.phis))
             try:
-                outcomes, execute_seconds, checkpoints = await runner(merged)
+                # Runners return (outcomes, execute_seconds, checkpoints) and
+                # may append a shard count; unpack flexibly so simpler test
+                # runners keep working with the 3-tuple shape.
+                result = await runner(merged)
             except BaseException as error:
                 self._distribute_error(batch, error)
                 return
+            outcomes, execute_seconds, checkpoints = result[0], result[1], result[2]
+            shards = result[3] if len(result) > 3 else None
             for requested, future in batch.waiters:
                 if not future.done():
                     future.set_result(
@@ -178,6 +187,7 @@ class Coalescer:
                             queue_seconds=queue_seconds,
                             execute_seconds=execute_seconds,
                             checkpoints=checkpoints,
+                            shards=shards,
                         )
                     )
         finally:

@@ -134,6 +134,7 @@ class EnginePool:
         timeout: float | None = None,
         max_rows: int | None = None,
         on_budget: str | None = None,
+        parallel: int | str | None = None,
     ) -> PreparedQuery:
         """The shared prepared query for one request signature (LRU-cached).
 
@@ -141,7 +142,10 @@ class EnginePool:
         from an executor thread, never from the event loop.
         """
         engine = self.engine(name)
-        key = (name, query, ranking, epsilon, strategy, seed, timeout, max_rows, on_budget)
+        key = (
+            name, query, ranking, epsilon, strategy, seed,
+            timeout, max_rows, on_budget, parallel,
+        )
         with self._lock:
             cached = self._prepared.get(key)
             if cached is not None:
@@ -156,6 +160,8 @@ class EnginePool:
             kwargs["max_rows"] = max_rows
         if on_budget is not None:
             kwargs["on_budget"] = on_budget
+        if parallel is not None:
+            kwargs["parallel"] = parallel
         prepared = engine.prepare(
             query,
             ranking,

@@ -60,6 +60,12 @@ class RequestRecord:
         Error message for ``error``/``cancelled``/``shed`` outcomes.
     retry_after:
         Suggested seconds to wait before retrying (shed responses only).
+    parallel:
+        The request's ``parallel`` knob (K, ``"auto"``, or ``None``).
+    shards:
+        Shard count of the live parallel session that served the request,
+        or ``None`` when it ran single-process (including silent serial
+        fallbacks — the record reports what actually executed).
     kernel_backend:
         The :mod:`repro.kernels` backend active when the request was
         recorded (``"python"`` or ``"numpy"``).
@@ -81,6 +87,8 @@ class RequestRecord:
     checkpoints: int = 0
     error: str | None = None
     retry_after: float | None = None
+    parallel: int | str | None = None
+    shards: int | None = None
     kernel_backend: str = field(default_factory=backend_name)
 
     def to_dict(self) -> dict[str, Any]:

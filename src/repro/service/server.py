@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import os
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -50,6 +51,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.kernels import backend_name
+from repro.parallel.planner import default_shard_count
 from repro.runtime import CancellationToken, ExecutionContext
 from repro.service.admission import AdmissionController, ShedRequestError
 from repro.service.coalesce import BatchOutcome, Coalescer
@@ -59,6 +61,16 @@ from repro.service.records import RecordLog, RequestRecord
 #: Service exit codes (mirrored by ``python -m repro.cli serve``).
 EXIT_OK = 0            # clean drain: every task accounted for
 EXIT_DIRTY_DRAIN = 5   # tasks had to be force-cancelled at shutdown
+
+
+def _parallel_knob(value: Any) -> int | str:
+    """Cast a request's ``parallel`` field: a positive int or ``"auto"``."""
+    if value == "auto":
+        return "auto"
+    if isinstance(value, bool):
+        # Caster contract: _guard_knobs turns ValueError into ValidationError.
+        raise ValueError(value)  # repro-analysis: allow RPR004 -- caster contract, mapped to ValidationError by _guard_knobs
+    return int(value)
 
 
 @dataclass(frozen=True)
@@ -311,6 +323,10 @@ class QuantileService:
             "draining": self._draining,
             "pending_connections": self.pending_connections,
             "pool": self.pool.stats(),
+            "parallel": {
+                "cpu_count": os.cpu_count() or 1,
+                "default_shard_count": default_shard_count(),
+            },
             "admission": self.admission.stats(),
             "coalescing": self.coalescer.stats(),
             "requests": self.records.counters(),
@@ -427,6 +443,7 @@ class QuantileService:
             mode = "index"
         knobs = self._guard_knobs(spec)
         record.phis = list(targets)
+        record.parallel = knobs.get("parallel")
 
         key = (
             mode,
@@ -437,7 +454,9 @@ class QuantileService:
             self.pool.fingerprint(db_name),
         )
 
-        async def runner(merged: tuple[float, ...]) -> tuple[dict[str, Any], float, int]:
+        async def runner(
+            merged: tuple[float, ...],
+        ) -> tuple[dict[str, Any], float, int, int | None]:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
                 self._executor,
@@ -469,6 +488,7 @@ class QuantileService:
             ("timeout", float),
             ("max_rows", int),
             ("on_budget", str),
+            ("parallel", _parallel_knob),
         ):
             value = spec.get(name)
             if value is None:
@@ -488,7 +508,7 @@ class QuantileService:
         knobs: dict[str, Any],
         mode: str,
         targets: tuple[Any, ...],
-    ) -> tuple[dict[str, Any], float, int]:
+    ) -> tuple[dict[str, Any], float, int, int | None]:
         batch_started = time.perf_counter()
         prepared = self.pool.prepared(db_name, query, ranking, **knobs)
         outcomes: dict[Any, Any] = {}
@@ -509,7 +529,11 @@ class QuantileService:
                     # — remaining targets fail fast at their first checkpoint).
                     outcomes[target] = error
         elapsed = time.perf_counter() - batch_started
-        return outcomes, elapsed, context.checkpoints
+        # Read after execution: the parallel session is built lazily, and a
+        # crash/close mid-batch means the batch (partly) ran serial — report
+        # what is actually live now.
+        shards = getattr(prepared, "shards", None)
+        return outcomes, elapsed, context.checkpoints, shards
 
     def _query_response(
         self, record: RequestRecord, outcome: BatchOutcome, mode: str
@@ -568,6 +592,7 @@ class QuantileService:
         record.queue_seconds = round(outcome.queue_seconds, 6)
         record.execute_seconds = round(outcome.execute_seconds, 6)
         record.checkpoints = outcome.checkpoints
+        record.shards = outcome.shards
         record.degraded = bool(degradations)
         record.degradation_rungs = sorted(set(degradations))
         if errors == len(results):
@@ -592,6 +617,8 @@ class QuantileService:
             "queue_seconds": record.queue_seconds,
             "execute_seconds": record.execute_seconds,
             "degraded": record.degraded,
+            "parallel": record.parallel,
+            "shards": record.shards,
             "partial": 0 < errors < len(results),
             "results": results,
         }

@@ -1,0 +1,70 @@
+"""Service integration: per-request ``parallel`` knob and shard reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    QuantileService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.workloads.path import path_workload
+
+QUERY = "R1(x1,x2), R2(x2,x3), R3(x3,x4)"
+RANKING = "sum(x1, x2)"
+
+
+@pytest.fixture()
+def service(inline_mode):
+    workload = path_workload(3, 60, 6, seed=11)
+    service = QuantileService(ServiceConfig())
+    service.pool.register("demo", workload.db)
+    handle = ServiceThread(service).start()
+    try:
+        yield service, ServiceClient.from_url(handle.url)
+    finally:
+        if handle.exit_code is None and handle.error is None:
+            handle.shutdown()
+
+
+class TestParallelKnob:
+    def test_parallel_request_reports_shard_count(self, service):
+        svc, client = service
+        response = client.query("demo", QUERY, RANKING, phis=[0.25, 0.75], parallel=2)
+        assert response.status == 200
+        assert response.payload["parallel"] == 2
+        assert response.payload["shards"] == 2
+        record = svc.records.recent(limit=1)[0]
+        assert record["parallel"] == 2
+        assert record["shards"] == 2
+
+    def test_serial_request_reports_no_shards(self, service):
+        _, client = service
+        response = client.query("demo", QUERY, RANKING, phis=[0.5])
+        assert response.status == 200
+        assert response.payload["parallel"] is None
+        assert response.payload["shards"] is None
+
+    def test_parallel_and_serial_answers_agree(self, service):
+        _, client = service
+        serial = client.query("demo", QUERY, RANKING, phis=[0.5])
+        parallel = client.query("demo", QUERY, RANKING, phis=[0.5], parallel=3)
+        serial_result = serial.payload["results"][0]
+        parallel_result = parallel.payload["results"][0]
+        assert parallel_result["weight"] == serial_result["weight"]
+        assert parallel_result["target_index"] == serial_result["target_index"]
+
+    def test_invalid_parallel_knob_is_rejected(self, service):
+        _, client = service
+        response = client.query("demo", QUERY, RANKING, phis=[0.5], parallel="warp")
+        assert response.status == 400
+
+    def test_stats_expose_parallel_defaults(self, service):
+        import os
+
+        _, client = service
+        stats = client.stats()
+        assert stats["parallel"]["cpu_count"] == (os.cpu_count() or 1)
+        assert stats["parallel"]["default_shard_count"] >= 1

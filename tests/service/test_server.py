@@ -355,5 +355,5 @@ class TestDrainCancellation:
         svc = QuantileService(ServiceConfig())
         svc.pool.register("demo", workload.db)
         svc._drain_token.cancel("test drain")
-        outcomes, _, _ = svc._run_batch("demo", QUERY, RANKING, {}, "phi", (0.5,))
+        outcomes, _, _, _ = svc._run_batch("demo", QUERY, RANKING, {}, "phi", (0.5,))
         assert isinstance(outcomes[0.5], ExecutionCancelledError)
